@@ -1,0 +1,103 @@
+// Command orfgen generates a synthetic SMART fleet as a Backblaze-format
+// CSV, suitable for feeding cmd/orfmon or any external tooling.
+//
+// Usage:
+//
+//	orfgen -profile STA -scale 0.01 -months 12 > fleet.csv
+//	orfgen -profile STB -scale 0.05 -o stb.csv
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "STA", "fleet profile: STA or STB")
+		scale   = flag.Float64("scale", 0.01, "population scale vs the paper's Table 1")
+		months  = flag.Int("months", 0, "override window length in months (0 = profile default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		meta    = flag.String("meta", "", "also write ground-truth disk metadata as JSON here")
+	)
+	flag.Parse()
+
+	var prof dataset.Profile
+	switch *profile {
+	case "STA":
+		prof = dataset.STA(*scale)
+	case "STB":
+		prof = dataset.STB(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "orfgen: unknown profile %q (want STA or STB)\n", *profile)
+		os.Exit(2)
+	}
+	if *months > 0 {
+		prof = prof.WithMonths(*months)
+	}
+
+	gen, err := dataset.New(prof, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orfgen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orfgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := smart.NewWriter(bw, map[string]int64{
+		prof.Model: int64(prof.CapacityTB) * 1_000_000_000_000,
+	})
+	n := 0
+	err = gen.Stream(func(s smart.Sample) error {
+		n++
+		return cw.Write(s)
+	})
+	if err == nil {
+		err = cw.Flush()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orfgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "orfgen: wrote %d samples for %d disks (%s, %d months)\n",
+		n, prof.TotalDisks(), prof.Name, prof.Months)
+
+	if *meta != "" {
+		f, err := os.Create(*meta)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orfgen:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(gen.Disks()); err != nil {
+			fmt.Fprintln(os.Stderr, "orfgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "orfgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "orfgen: ground truth written to %s\n", *meta)
+	}
+}

@@ -1,0 +1,56 @@
+// Command orfserve runs the online disk-failure prediction service: an
+// HTTP API around a per-model fleet of online random forests. SMART
+// collectors POST daily snapshots; the service learns continuously (no
+// retraining jobs, no training pipelines) and answers every snapshot
+// with a live risk prediction.
+//
+//	orfserve -addr :8080
+//
+//	curl -s localhost:8080/v1/observe -d '{
+//	  "serial":"Z302T4N9","model":"ST4000DM000","day":812,
+//	  "norm":{"5":100,"187":98,"197":100},
+//	  "raw":{"5":0,"9":19512,"187":2,"197":0}
+//	}'
+//	-> {"serial":"Z302T4N9","day":812,"score":0.11,"risky":false,"final":false}
+//
+//	curl -s localhost:8080/v1/stats
+//	curl -s 'localhost:8080/v1/importance?model=ST4000DM000'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"orfdisk"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		trees     = flag.Int("trees", 30, "ensemble size T per drive model")
+		lambdaN   = flag.Float64("lambdan", 0.02, "negative-class Poisson rate λn")
+		threshold = flag.Float64("threshold", 0.5, "alarm probability threshold")
+		horizon   = flag.Int("horizon", 7, "prediction window in days")
+	)
+	flag.Parse()
+
+	srv := orfdisk.NewServer(orfdisk.Config{
+		Threshold: *threshold,
+		Horizon:   *horizon,
+		ORF:       orfdisk.ORFConfig{Trees: *trees, LambdaNeg: *lambdaN},
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "orfserve: listening on %s (T=%d, λn=%g, threshold=%g, horizon=%dd)\n",
+		*addr, *trees, *lambdaN, *threshold, *horizon)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "orfserve:", err)
+		os.Exit(1)
+	}
+}

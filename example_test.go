@@ -1,0 +1,72 @@
+package orfdisk_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"orfdisk"
+)
+
+// ExampleNewPredictor shows the minimal Algorithm 2 loop: ingest daily
+// snapshots, let the labeling queues and the online forest do the rest.
+func ExampleNewPredictor() {
+	pred := orfdisk.NewPredictor(orfdisk.Config{
+		ORF: orfdisk.ORFConfig{Trees: 5, Seed: 1},
+	})
+
+	values := orfdisk.PackValues(
+		map[int]float64{5: 100, 187: 100}, // normalized values by SMART id
+		map[int]float64{5: 0, 187: 0, 9: 12000},
+	)
+	p, err := pred.Ingest(orfdisk.Observation{
+		Serial: "Z302T4N9", Day: 0, Values: values,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("risky:", p.Risky, "- tracked disks:", pred.TrackedDisks())
+	// Output: risky: false - tracked disks: 1
+}
+
+// ExamplePredictor_SaveModel demonstrates snapshotting a model and
+// resuming it bit-for-bit.
+func ExamplePredictor_SaveModel() {
+	pred := orfdisk.NewPredictor(orfdisk.Config{
+		ORF: orfdisk.ORFConfig{Trees: 3, Seed: 7},
+	})
+	v := make([]float64, orfdisk.CatalogSize())
+	for day := 0; day < 10; day++ {
+		if _, err := pred.Ingest(orfdisk.Observation{Serial: "d", Day: day, Values: v}); err != nil {
+			panic(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := pred.SaveModel(&buf); err != nil {
+		panic(err)
+	}
+	resumed, err := orfdisk.LoadPredictor(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("updates preserved:", resumed.Stats().Updates == pred.Stats().Updates)
+	// Output: updates preserved: true
+}
+
+// ExampleNewFleet routes two drive models to independent online models,
+// as section 4.1 of the paper requires.
+func ExampleNewFleet() {
+	fleet := orfdisk.NewFleet(orfdisk.Config{ORF: orfdisk.ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, orfdisk.CatalogSize())
+	for _, m := range []string{"ST4000DM000", "ST3000DM001"} {
+		_, err := fleet.Ingest(orfdisk.FleetObservation{
+			Model:       m,
+			Observation: orfdisk.Observation{Serial: "disk-" + m, Day: 0, Values: v},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(fleet.Models())
+	// Output: [ST3000DM001 ST4000DM000]
+}

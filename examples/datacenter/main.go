@@ -1,0 +1,103 @@
+// Datacenter: the paper's motivating scenario end to end. A simulated
+// fleet of several hundred disks streams daily SMART snapshots through
+// the Predictor (Algorithm 2); the example reports disk-level detection
+// and false-alarm outcomes, month by month, the way an SRE team would
+// audit the system.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+
+	"orfdisk"
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+func main() {
+	prof := dataset.STA(1)
+	prof.GoodDisks, prof.FailedDisks, prof.Months = 500, 120, 15
+	gen, err := dataset.New(prof, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fleet: %d good + %d failed disks, %d months of daily SMART\n\n",
+		prof.GoodDisks, prof.FailedDisks, prof.Months)
+
+	pred := orfdisk.NewPredictor(orfdisk.Config{
+		ORF: orfdisk.ORFConfig{Seed: 99},
+	})
+
+	// Track the first alarm day per disk and failures per month.
+	firstAlarm := map[string]int{}
+	err = gen.Stream(func(s smart.Sample) error {
+		p, err := pred.Ingest(orfdisk.Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		if err != nil {
+			return err
+		}
+		if p.Risky {
+			if _, seen := firstAlarm[s.Serial]; !seen {
+				firstAlarm[s.Serial] = s.Day
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Audit: per month of failure, how many failed disks were alarmed
+	// before death, and with how much lead time to migrate data?
+	type bucket struct{ failed, caught, leadSum int }
+	months := map[int]*bucket{}
+	for _, m := range gen.Disks() {
+		if !m.Failed {
+			continue
+		}
+		mo := m.FailDay / 30
+		b := months[mo]
+		if b == nil {
+			b = &bucket{}
+			months[mo] = b
+		}
+		b.failed++
+		if day, ok := firstAlarm[m.Serial]; ok && day <= m.FailDay {
+			b.caught++
+			b.leadSum += m.FailDay - day
+		}
+	}
+	goodAlarms := 0
+	for _, m := range gen.Disks() {
+		if !m.Failed {
+			if _, ok := firstAlarm[m.Serial]; ok {
+				goodAlarms++
+			}
+		}
+	}
+
+	fmt.Println("month  failures  detected  mean-lead-days")
+	var totF, totC int
+	for mo := 0; mo < prof.Months; mo++ {
+		b := months[mo]
+		if b == nil {
+			continue
+		}
+		lead := 0.0
+		if b.caught > 0 {
+			lead = float64(b.leadSum) / float64(b.caught)
+		}
+		fmt.Printf("%5d  %8d  %8d  %14.1f\n", mo+1, b.failed, b.caught, lead)
+		totF += b.failed
+		totC += b.caught
+	}
+	st := pred.Stats()
+	fmt.Printf("\noverall: %d/%d failures alarmed before death\n", totC, totF)
+	fmt.Printf("good disks ever alarmed: %d/%d\n", goodAlarms, prof.GoodDisks)
+	fmt.Printf("model: %d updates (%d positive), %d trees replaced, %d nodes\n",
+		st.Updates, st.PosSeen, st.Replaced, st.Nodes)
+	fmt.Println("\nnote: early months are the cold start — the model has seen few failures;")
+	fmt.Println("detection climbs as labeled failures accumulate (paper Figures 2-3).")
+}

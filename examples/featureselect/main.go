@@ -1,0 +1,69 @@
+// Featureselect: run the paper's feature-selection pipeline (section 4.2
+// / Table 2) on a simulated fleet: Wilcoxon rank-sum screening of all 48
+// candidate features, then importance-guided redundancy elimination, and
+// print the resulting attribute contribution ranking.
+//
+//	go run ./examples/featureselect
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/eval"
+	"orfdisk/internal/smart"
+)
+
+func main() {
+	prof := dataset.STA(1)
+	prof.GoodDisks, prof.FailedDisks, prof.Months = 500, 150, 14
+	fs, err := eval.SelectFeatures(prof, 3, eval.FeatureSelectOptions{})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("candidates: %d features (24 attributes x {Norm, Raw})\n", smart.NumFeatures())
+	fmt.Printf("rank-sum screen kept: %d (paper kept 28)\n", len(fs.Kept))
+	fmt.Printf("after redundancy elimination: %d (paper selected 19)\n\n", len(fs.Selected))
+
+	fmt.Println("selected features by importance:")
+	for _, f := range fs.Selected {
+		cf := smart.Catalog()[f]
+		inTable2 := " "
+		if cf.Selected {
+			inTable2 = "*"
+		}
+		fmt.Printf("  %s %-28s %-5s importance %.4f\n",
+			inTable2, cf.Attr.Name, cf.Kind, fs.Importance[f])
+	}
+	fmt.Println("\n(* = feature also selected by the paper's Table 2)")
+
+	fmt.Println("\nattribute contribution ranking (cf. Table 2 'Rank'):")
+	fmt.Println("rank  attr  name                              paper-rank")
+	paperRank := map[int]int{187: 1, 197: 2, 5: 3, 184: 4, 9: 5, 193: 6,
+		7: 7, 183: 8, 198: 9, 189: 10, 12: 11, 199: 12, 1: 13}
+	agree := 0
+	for _, a := range fs.AttrRank {
+		pr := "-"
+		if r, ok := paperRank[a.Attr.ID]; ok {
+			pr = fmt.Sprint(r)
+			if abs(a.Rank-r) <= 3 {
+				agree++
+			}
+		}
+		fmt.Printf("%4d  #%-4d %-32s %s\n", a.Rank, a.Attr.ID, a.Attr.Name, pr)
+	}
+	fmt.Printf("\n%d/%d attributes ranked within +/-3 of the paper's position\n",
+		agree, len(fs.AttrRank))
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("the simulator plants signal exactly on the Table 2 attributes;")
+	fmt.Println("this pipeline recovers them from data alone.")
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+// Scrubbing: the storage-layer use case from the paper's related work
+// (Mahdisoltani et al., USENIX ATC'17): drive failure/error predictions
+// can steer background scrubbing so that latent sector errors on risky
+// disks are found sooner, shrinking the window of vulnerability to data
+// loss — without scrubbing the whole fleet harder.
+//
+// The simulation compares two policies with similar total scrub work:
+//
+//	uniform:    every disk is scrubbed every 14 days;
+//	adaptive:   disks the online predictor currently flags risky are
+//	            scrubbed every 2 days, the rest every 16 days.
+//
+// A "latent sector error" is a day the simulated disk increments its
+// pending-sector counter (SMART 197 raw); it stays undetected until the
+// next scrub of that disk. We report the mean and tail detection delay
+// and the total number of scrubs.
+//
+//	go run ./examples/scrubbing
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"orfdisk"
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+const (
+	uniformPeriod  = 14
+	riskyPeriod    = 2
+	calmPeriod     = 16
+	vulnerableOver = 7 // report tail share of delays above this
+)
+
+type policy struct {
+	name string
+	// period returns the scrub interval for a disk given its current
+	// risk flag.
+	period func(risky bool) int
+
+	lastScrub map[string]int
+	delays    []float64
+	scrubs    int
+}
+
+func newPolicy(name string, period func(bool) int) *policy {
+	return &policy{name: name, period: period, lastScrub: map[string]int{}}
+}
+
+func main() {
+	prof := dataset.STA(1)
+	prof.GoodDisks, prof.FailedDisks, prof.Months = 400, 120, 12
+	gen, err := dataset.New(prof, 33)
+	if err != nil {
+		panic(err)
+	}
+	pred := orfdisk.NewPredictor(orfdisk.Config{ORF: orfdisk.ORFConfig{Seed: 34}})
+
+	policies := []*policy{
+		newPolicy("uniform", func(bool) int { return uniformPeriod }),
+		newPolicy("adaptive", func(risky bool) int {
+			if risky {
+				return riskyPeriod
+			}
+			return calmPeriod
+		}),
+	}
+
+	idx197 := smart.FeatureIndex(197, smart.Raw)
+	prev197 := map[string]float64{}
+	risky := map[string]bool{}
+	// pendingErr[disk] holds the days of still-undetected sector errors,
+	// per policy.
+	pendingErr := make([]map[string][]int, len(policies))
+	for i := range pendingErr {
+		pendingErr[i] = map[string][]int{}
+	}
+
+	err = gen.Stream(func(s smart.Sample) error {
+		p, err := pred.Ingest(orfdisk.Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		if err != nil {
+			return err
+		}
+		if !p.Final {
+			risky[s.Serial] = p.Risky
+		}
+
+		// Did a latent sector error appear today?
+		if prev, ok := prev197[s.Serial]; ok && s.Values[idx197] > prev {
+			for i := range policies {
+				pendingErr[i][s.Serial] = append(pendingErr[i][s.Serial], s.Day)
+			}
+		}
+		prev197[s.Serial] = s.Values[idx197]
+
+		// Scrub check per policy.
+		for i, pol := range policies {
+			last, seen := pol.lastScrub[s.Serial]
+			if !seen {
+				pol.lastScrub[s.Serial] = s.Day
+				continue
+			}
+			if s.Day-last >= pol.period(risky[s.Serial]) {
+				pol.scrubs++
+				pol.lastScrub[s.Serial] = s.Day
+				for _, errDay := range pendingErr[i][s.Serial] {
+					pol.delays = append(pol.delays, float64(s.Day-errDay))
+				}
+				delete(pendingErr[i], s.Serial)
+			}
+		}
+		if s.Failure {
+			delete(prev197, s.Serial)
+			delete(risky, s.Serial)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("fleet: %d disks over %d months; scrub policies with similar budgets\n\n",
+		prof.TotalDisks(), prof.Months)
+	fmt.Printf("%-10s %10s %12s %12s %16s\n",
+		"policy", "scrubs", "mean delay", "p95 delay", fmt.Sprintf(">%dd exposed", vulnerableOver))
+	for _, pol := range policies {
+		mean, p95, tail := summarize(pol.delays, vulnerableOver)
+		fmt.Printf("%-10s %10d %11.1fd %11.1fd %15.1f%%\n",
+			pol.name, pol.scrubs, mean, p95, 100*tail)
+	}
+	fmt.Println("\nthe adaptive policy spends its extra scrubs only on predicted-risky")
+	fmt.Println("disks — exactly where sector errors cluster before failure — so the")
+	fmt.Println("window of vulnerability shrinks at comparable total cost (ATC'17 use case).")
+}
+
+func summarize(delays []float64, tailOver int) (mean, p95, tailFrac float64) {
+	if len(delays) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(delays)
+	var sum float64
+	tail := 0
+	for _, d := range delays {
+		sum += d
+		if d > float64(tailOver) {
+			tail++
+		}
+	}
+	mean = sum / float64(len(delays))
+	p95 = delays[int(0.95*float64(len(delays)-1))]
+	tailFrac = float64(tail) / float64(len(delays))
+	return mean, p95, tailFrac
+}

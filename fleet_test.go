@@ -1,0 +1,126 @@
+package orfdisk
+
+import (
+	"testing"
+)
+
+func fleetObs(serial, model string, day int, failed bool) FleetObservation {
+	return FleetObservation{
+		Model: model,
+		Observation: Observation{
+			Serial: serial, Day: day, Failed: failed,
+			Values: make([]float64, CatalogSize()),
+		},
+	}
+}
+
+func TestFleetRoutesByModel(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}, Horizon: 2})
+	for day := 0; day < 5; day++ {
+		if _, err := f.Ingest(fleetObs("a1", "ST4000", day, false)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Ingest(fleetObs("b1", "ST3000", day, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	models := f.Models()
+	if len(models) != 2 || models[0] != "ST3000" || models[1] != "ST4000" {
+		t.Fatalf("models = %v", models)
+	}
+	// Each predictor only saw its own disk: horizon 2, 5 samples -> 3
+	// negatives each.
+	for _, m := range models {
+		if got := f.Predictor(m).Stats().NegSeen; got != 3 {
+			t.Fatalf("model %s saw %d negatives, want 3", m, got)
+		}
+	}
+	if f.TrackedDisks() != 2 {
+		t.Fatalf("tracked %d disks", f.TrackedDisks())
+	}
+}
+
+func TestFleetRejectsModelChange(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	if _, err := f.Ingest(fleetObs("a1", "ST4000", 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Ingest(fleetObs("a1", "ST3000", 1, false)); err == nil {
+		t.Fatal("model change accepted")
+	}
+}
+
+func TestFleetRejectsMissingModelForUnknownDisk(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	if _, err := f.Ingest(fleetObs("ghost", "", 0, false)); err == nil {
+		t.Fatal("missing model accepted for unknown disk")
+	}
+}
+
+func TestFleetInfersModelForKnownDisk(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	if _, err := f.Ingest(fleetObs("a1", "ST4000", 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	// Later report without a model string routes by memory.
+	if _, err := f.Ingest(fleetObs("a1", "", 1, false)); err != nil {
+		t.Fatalf("known disk without model rejected: %v", err)
+	}
+}
+
+func TestFleetFailureReleasesDisk(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}, Horizon: 3})
+	for day := 0; day < 3; day++ {
+		if _, err := f.Ingest(fleetObs("a1", "ST4000", day, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred, err := f.Ingest(fleetObs("a1", "ST4000", 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Final {
+		t.Fatal("failure not marked final")
+	}
+	if f.TrackedDisks() != 0 {
+		t.Fatal("failed disk still tracked")
+	}
+	// The model's forest absorbed the queued positives.
+	if f.Predictor("ST4000").Stats().PosSeen == 0 {
+		t.Fatal("no positives reached the model")
+	}
+	// Re-registering the serial under a different model is allowed after
+	// failure (drive slots get reused).
+	if _, err := f.Ingest(fleetObs("a1", "ST3000", 10, false)); err != nil {
+		t.Fatalf("slot reuse rejected: %v", err)
+	}
+}
+
+func TestFleetRetire(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	if _, err := f.Ingest(fleetObs("a1", "ST4000", 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	f.Retire("a1")
+	if f.TrackedDisks() != 0 {
+		t.Fatal("retired disk still tracked")
+	}
+	f.Retire("never-seen") // must not panic
+}
+
+func TestFleetSetThreshold(t *testing.T) {
+	f := NewFleet(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	if _, err := f.Ingest(fleetObs("a1", "ST4000", 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	f.SetThreshold(0.9)
+	if f.Predictor("ST4000").Threshold() != 0.9 {
+		t.Fatal("threshold not propagated to existing predictor")
+	}
+	if _, err := f.Ingest(fleetObs("b1", "ST3000", 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Predictor("ST3000").Threshold() != 0.9 {
+		t.Fatal("threshold not applied to new predictor")
+	}
+}

@@ -1,0 +1,3 @@
+module orfdisk
+
+go 1.22

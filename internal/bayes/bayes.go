@@ -1,0 +1,88 @@
+// Package bayes implements a Gaussian naive Bayes classifier, the
+// earliest SMART-based failure predictor in the paper's related work
+// (Hamerly & Elkan, ICML'01). It serves as a historical comparator and a
+// sanity floor for the evaluation harness.
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted Gaussian naive Bayes classifier for binary labels.
+type Model struct {
+	dim      int
+	logPrior [2]float64
+	mean     [2][]float64
+	variance [2][]float64
+}
+
+// Train fits class-conditional Gaussians with a small variance floor.
+// It panics on empty or one-class input.
+func Train(X [][]float64, y []int, varFloor float64) *Model {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("bayes: bad training set (%d rows, %d labels)", len(X), len(y)))
+	}
+	if varFloor <= 0 {
+		varFloor = 1e-6
+	}
+	dim := len(X[0])
+	m := &Model{dim: dim}
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		m.mean[c] = make([]float64, dim)
+		m.variance[c] = make([]float64, dim)
+	}
+	for i, x := range X {
+		c := y[i]
+		count[c]++
+		for j, v := range x {
+			m.mean[c][j] += v
+		}
+	}
+	if count[0] == 0 || count[1] == 0 {
+		panic("bayes: training set contains a single class")
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.mean[c] {
+			m.mean[c][j] /= float64(count[c])
+		}
+	}
+	for i, x := range X {
+		c := y[i]
+		for j, v := range x {
+			d := v - m.mean[c][j]
+			m.variance[c][j] += d * d
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.variance[c] {
+			m.variance[c][j] = m.variance[c][j]/float64(count[c]) + varFloor
+		}
+		m.logPrior[c] = math.Log(float64(count[c]) / float64(len(X)))
+	}
+	return m
+}
+
+// LogOdds returns log P(y=1|x) - log P(y=0|x) up to the shared evidence
+// term; positive favors the positive class.
+func (m *Model) LogOdds(x []float64) float64 {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("bayes: input dimension %d, want %d", len(x), m.dim))
+	}
+	ll := [2]float64{m.logPrior[0], m.logPrior[1]}
+	for c := 0; c < 2; c++ {
+		for j, v := range x {
+			d := v - m.mean[c][j]
+			ll[c] -= 0.5*math.Log(2*math.Pi*m.variance[c][j]) +
+				d*d/(2*m.variance[c][j])
+		}
+	}
+	return ll[1] - ll[0]
+}
+
+// Predict reports the positive class iff LogOdds(x) >= offset. Offset 0
+// is the MAP decision; raising it trades detections for false alarms.
+func (m *Model) Predict(x []float64, offset float64) bool {
+	return m.LogOdds(x) >= offset
+}

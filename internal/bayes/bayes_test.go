@@ -1,0 +1,109 @@
+package bayes
+
+import (
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+func blobs(seed uint64, n int, sep float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{sep + r.NormFloat64(), sep + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func TestSeparable(t *testing.T) {
+	X, y := blobs(1, 200, 5)
+	m := Train(X, y, 0)
+	errs := 0
+	for i := range X {
+		if m.Predict(X[i], 0) != (y[i] == 1) {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d errors on separable blobs", errs)
+	}
+}
+
+func TestPriorsMatter(t *testing.T) {
+	// With identical class-conditional distributions, the classifier
+	// must fall back to the prior.
+	r := rng.New(2)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 900; i++ {
+		X = append(X, []float64{r.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{r.NormFloat64()})
+		y = append(y, 1)
+	}
+	m := Train(X, y, 0)
+	pos := 0
+	for i := 0; i < 200; i++ {
+		if m.Predict([]float64{r.NormFloat64()}, 0) {
+			pos++
+		}
+	}
+	if pos > 40 {
+		t.Fatalf("prior-dominated classifier predicted positive %d/200", pos)
+	}
+}
+
+func TestOffsetMonotone(t *testing.T) {
+	X, y := blobs(3, 200, 1)
+	m := Train(X, y, 0)
+	count := func(offset float64) int {
+		n := 0
+		for i := range X {
+			if m.Predict(X[i], offset) {
+				n++
+			}
+		}
+		return n
+	}
+	if !(count(-2) >= count(0) && count(0) >= count(2)) {
+		t.Fatalf("detections not monotone in offset: %d %d %d",
+			count(-2), count(0), count(2))
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { Train(nil, nil, 0) },
+		"one-class": func() { Train([][]float64{{1}}, []int{1}, 0) },
+		"dim": func() {
+			m := Train([][]float64{{0}, {1}}, []int{0, 1}, 0)
+			m.LogOdds([]float64{1, 2})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVarianceFloorPreventsInfinities(t *testing.T) {
+	// Constant feature: zero variance must not produce NaN/Inf odds.
+	X := [][]float64{{1, 0.3}, {1, 0.7}, {1, 0.1}, {1, 0.9}}
+	y := []int{0, 0, 1, 1}
+	m := Train(X, y, 0)
+	odds := m.LogOdds([]float64{1, 0.5})
+	if odds != odds { // NaN check
+		t.Fatal("LogOdds is NaN with constant feature")
+	}
+}

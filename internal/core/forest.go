@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orfdisk/internal/rng"
+)
+
+// Forest is an online random forest (Algorithm 1). Construct with New,
+// feed labeled samples with Update, query with PredictProba/Predict.
+//
+// Update and Predict each parallelize internally across trees, but the
+// two must not run concurrently with each other: Update mutates tree
+// structure.
+type Forest struct {
+	cfg   Config
+	dim   int
+	trees []*onlineTree
+
+	updates      int64 // total Update calls
+	replaced     atomic.Int64
+	posSeen      int64
+	negSeen      int64
+	sinceReplace int64 // updates since the last tree replacement
+}
+
+// New creates an empty forest for dim-dimensional inputs.
+func New(dim int, cfg Config) *Forest {
+	if dim <= 0 {
+		panic(fmt.Sprintf("core: non-positive input dimension %d", dim))
+	}
+	cfg = cfg.withDefaults()
+	f := &Forest{cfg: cfg, dim: dim}
+	master := rng.New(cfg.Seed)
+	f.trees = make([]*onlineTree, cfg.Trees)
+	for i := range f.trees {
+		f.trees[i] = newOnlineTree(cfg, dim, master.Split())
+	}
+	return f
+}
+
+// Config returns the forest's effective (defaulted) configuration.
+func (f *Forest) Config() Config { return f.cfg }
+
+// Dim returns the input dimensionality.
+func (f *Forest) Dim() int { return f.dim }
+
+// Update absorbs one labeled sample into every tree, following
+// Algorithm 1: per tree, draw k ~ Poisson(lambda_y); replay the sample k
+// times if k > 0, otherwise use it to refresh the tree's OOBE and check
+// the replacement condition.
+func (f *Forest) Update(x []float64, y int) {
+	if len(x) != f.dim {
+		panic(fmt.Sprintf("core: Update dimension %d, want %d", len(x), f.dim))
+	}
+	f.updates++
+	if y == 1 {
+		f.posSeen++
+	} else {
+		f.negSeen++
+	}
+	lambda := f.cfg.LambdaNeg
+	if y == 1 {
+		lambda = f.cfg.LambdaPos
+	}
+
+	f.forEachTree(func(t *onlineTree) {
+		k := t.r.Poisson(lambda)
+		if k > 0 {
+			for i := 0; i < k; i++ {
+				t.update(x, y)
+			}
+			t.age++
+			return
+		}
+		t.updateOOBE(x, y)
+	})
+
+	// Replacement pass: discard at most one decayed tree per cooldown
+	// window, choosing the worst offender. Replacing serially instead of
+	// en masse keeps the ensemble functional through drift episodes.
+	if f.cfg.DisableReplacement {
+		return
+	}
+	f.sinceReplace++
+	if f.sinceReplace < int64(f.cfg.ReplaceCooldown) {
+		return
+	}
+	worst := -1
+	worstOOBE := f.cfg.OOBEThreshold
+	for i, t := range f.trees {
+		if t.age > f.cfg.AgeThreshold && t.oobe() > worstOOBE {
+			worst, worstOOBE = i, t.oobe()
+		}
+	}
+	if worst >= 0 {
+		f.trees[worst].reset()
+		f.replaced.Add(1)
+		f.sinceReplace = 0
+	}
+}
+
+// forEachTree runs fn over all trees using the worker pool. Each tree is
+// touched by exactly one goroutine, so per-tree state needs no locking.
+func (f *Forest) forEachTree(fn func(*onlineTree)) {
+	workers := f.cfg.Workers
+	if workers > len(f.trees) {
+		workers = len(f.trees)
+	}
+	if workers <= 1 {
+		for _, t := range f.trees {
+			fn(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(f.trees) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(f.trees) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(f.trees) {
+			hi = len(f.trees)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, t := range f.trees[lo:hi] {
+				fn(t)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PredictProba returns the mean positive probability across trees.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(x) != f.dim {
+		panic(fmt.Sprintf("core: Predict dimension %d, want %d", len(x), f.dim))
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predictProba(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the positive decision at the given probability
+// threshold.
+func (f *Forest) Predict(x []float64, threshold float64) bool {
+	return f.PredictProba(x) >= threshold
+}
+
+// PredictProbaBatch scores many vectors in parallel, preserving order.
+// It must not run concurrently with Update.
+func (f *Forest) PredictProbaBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	workers := f.cfg.Workers
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f.PredictProba(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats is a point-in-time summary of forest state.
+type Stats struct {
+	Updates     int64
+	PosSeen     int64
+	NegSeen     int64
+	Replaced    int64 // trees discarded and regrown so far
+	Nodes       int   // total nodes across trees
+	Leaves      int   // total leaves across trees
+	MeanOOBE    float64
+	OldestAge   int
+	YoungestAge int
+}
+
+// FeatureImportance returns per-feature importance accumulated from
+// every split's Gini gain weighted by the sample mass at the split,
+// normalized to sum to 1 (all-zero if no tree ever split). Trees that
+// were discarded and regrown only contribute their current structure —
+// importance, like the forest itself, tracks the present distribution.
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.dim)
+	for _, t := range f.trees {
+		t.accumulateImportance(imp)
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+// Stats returns the current forest statistics.
+func (f *Forest) Stats() Stats {
+	s := Stats{
+		Updates:  f.updates,
+		PosSeen:  f.posSeen,
+		NegSeen:  f.negSeen,
+		Replaced: f.replaced.Load(),
+	}
+	if len(f.trees) == 0 {
+		return s
+	}
+	s.OldestAge = f.trees[0].age
+	s.YoungestAge = f.trees[0].age
+	sumOOBE := 0.0
+	for _, t := range f.trees {
+		s.Nodes += t.numNodes()
+		s.Leaves += t.numLeaves()
+		sumOOBE += t.oobe()
+		if t.age > s.OldestAge {
+			s.OldestAge = t.age
+		}
+		if t.age < s.YoungestAge {
+			s.YoungestAge = t.age
+		}
+	}
+	s.MeanOOBE = sumOOBE / float64(len(f.trees))
+	return s
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadForest throws arbitrary bytes at the snapshot reader: it must
+// either reject them with an error or produce a forest whose predictions
+// do not panic. Seeded with a genuine snapshot so mutations explore the
+// format's neighborhood.
+func FuzzReadForest(f *testing.F) {
+	seed := trainForest(f, 1, 400)
+	var buf bytes.Buffer
+	if _, err := seed.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(nil))
+	f.Add([]byte("ORF1"))
+	f.Add([]byte("garbage that is long enough to not be an obvious header"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		forest, err := ReadForest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A snapshot that parses must be structurally usable.
+		x := make([]float64, forest.Dim())
+		p := forest.PredictProba(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("restored forest proba %v", p)
+		}
+		_ = forest.Stats()
+	})
+}

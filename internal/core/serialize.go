@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"orfdisk/internal/rng"
+)
+
+// Binary serialization of a Forest: magic, config, then per tree the
+// node array (with leaf statistics and test pools) and the learning
+// state. The RNG streams are serialized too, so a restored forest
+// continues the exact stream a snapshot would have produced.
+//
+// Format (little endian):
+//
+//	magic "ORF1" | dim | counters | config block | per-tree blocks
+//
+// The format is internal and versioned by the magic; there is no
+// cross-version compatibility promise.
+
+const magic = "ORF1"
+
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (w *writer) u64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, w.err = w.w.Write(buf[:])
+}
+
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) b(v bool)      { w.u64(boolU64(v)) }
+func boolU64(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+type reader struct {
+	r   io.Reader
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	_, r.err = io.ReadFull(r.r, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) b() bool      { return r.u64() != 0 }
+
+// WriteTo serializes the forest. It must not run concurrently with
+// Update.
+func (f *Forest) WriteTo(dst io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	w := &writer{w: &buf}
+	buf.WriteString(magic)
+	w.i64(int64(f.dim))
+	w.i64(f.updates)
+	w.i64(f.posSeen)
+	w.i64(f.negSeen)
+	w.i64(f.replaced.Load())
+	w.i64(f.sinceReplace)
+
+	// Config.
+	c := f.cfg
+	w.i64(int64(c.Trees))
+	w.i64(int64(c.NumTests))
+	w.f64(c.MinParentSize)
+	w.f64(c.MinGain)
+	w.f64(c.LambdaPos)
+	w.f64(c.LambdaNeg)
+	w.i64(int64(c.MaxDepth))
+	w.f64(c.OOBEThreshold)
+	w.i64(int64(c.AgeThreshold))
+	w.f64(c.OOBEDecay)
+	w.i64(int64(c.ReplaceCooldown))
+	w.b(c.DisableReplacement)
+	w.i64(int64(c.Workers))
+	w.u64(c.Seed)
+
+	for _, t := range f.trees {
+		writeTree(w, t)
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := dst.Write(buf.Bytes())
+	return int64(n), err
+}
+
+func writeTree(w *writer, t *onlineTree) {
+	w.i64(int64(t.age))
+	w.f64(t.oobErrNeg)
+	w.f64(t.oobErrPos)
+	w.b(t.oobSeenNeg)
+	w.b(t.oobSeenPos)
+	s0, s1, s2, s3 := t.r.State()
+	w.u64(s0)
+	w.u64(s1)
+	w.u64(s2)
+	w.u64(s3)
+	w.i64(int64(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		w.i64(int64(n.feature))
+		w.f64(n.thresh)
+		w.i64(int64(n.left))
+		w.i64(int64(n.right))
+		w.i64(int64(n.depth))
+		w.f64(n.wNeg)
+		w.f64(n.wPos)
+		w.f64(n.splitGain)
+		w.f64(n.splitMass)
+		w.i64(int64(len(n.tests)))
+		for j := range n.tests {
+			s := &n.tests[j]
+			w.i64(int64(s.feature))
+			w.f64(s.thresh)
+			w.f64(s.lNeg)
+			w.f64(s.lPos)
+			w.f64(s.rNeg)
+			w.f64(s.rPos)
+		}
+	}
+}
+
+// ReadForest deserializes a forest written by WriteTo.
+func ReadForest(src io.Reader) (*Forest, error) {
+	r := &reader{r: src}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(src, head); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", head)
+	}
+	f := &Forest{}
+	f.dim = int(r.i64())
+	f.updates = r.i64()
+	f.posSeen = r.i64()
+	f.negSeen = r.i64()
+	f.replaced.Store(r.i64())
+	f.sinceReplace = r.i64()
+
+	var c Config
+	c.Trees = int(r.i64())
+	c.NumTests = int(r.i64())
+	c.MinParentSize = r.f64()
+	c.MinGain = r.f64()
+	c.LambdaPos = r.f64()
+	c.LambdaNeg = r.f64()
+	c.MaxDepth = int(r.i64())
+	c.OOBEThreshold = r.f64()
+	c.AgeThreshold = int(r.i64())
+	c.OOBEDecay = r.f64()
+	c.ReplaceCooldown = int(r.i64())
+	c.DisableReplacement = r.b()
+	c.Workers = int(r.i64())
+	c.Seed = r.u64()
+	f.cfg = c
+
+	if r.err != nil {
+		return nil, fmt.Errorf("core: reading snapshot: %w", r.err)
+	}
+	if f.dim <= 0 || c.Trees <= 0 || c.Trees > 1<<20 {
+		return nil, fmt.Errorf("core: corrupt snapshot (dim=%d trees=%d)", f.dim, c.Trees)
+	}
+	f.trees = make([]*onlineTree, c.Trees)
+	for i := range f.trees {
+		t, err := readTree(r, c, f.dim)
+		if err != nil {
+			return nil, err
+		}
+		f.trees[i] = t
+	}
+	return f, nil
+}
+
+func readTree(r *reader, cfg Config, dim int) (*onlineTree, error) {
+	t := &onlineTree{cfg: cfg, dim: dim}
+	t.age = int(r.i64())
+	t.oobErrNeg = r.f64()
+	t.oobErrPos = r.f64()
+	t.oobSeenNeg = r.b()
+	t.oobSeenPos = r.b()
+	s0, s1, s2, s3 := r.u64(), r.u64(), r.u64(), r.u64()
+	t.r = rng.FromState(s0, s1, s2, s3)
+	nNodes := r.i64()
+	if r.err != nil {
+		return nil, fmt.Errorf("core: reading tree header: %w", r.err)
+	}
+	if nNodes <= 0 || nNodes > 1<<28 {
+		return nil, fmt.Errorf("core: corrupt snapshot (node count %d)", nNodes)
+	}
+	t.nodes = make([]oNode, nNodes)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.feature = int32(r.i64())
+		n.thresh = r.f64()
+		n.left = int32(r.i64())
+		n.right = int32(r.i64())
+		n.depth = int32(r.i64())
+		n.wNeg = r.f64()
+		n.wPos = r.f64()
+		n.splitGain = r.f64()
+		n.splitMass = r.f64()
+		nTests := r.i64()
+		if r.err != nil {
+			return nil, fmt.Errorf("core: reading node %d: %w", i, r.err)
+		}
+		if nTests < 0 || nTests > 1<<20 {
+			return nil, fmt.Errorf("core: corrupt snapshot (test count %d)", nTests)
+		}
+		if nTests > 0 {
+			n.tests = make([]test, nTests)
+			for j := range n.tests {
+				s := &n.tests[j]
+				s.feature = int32(r.i64())
+				s.thresh = r.f64()
+				s.lNeg = r.f64()
+				s.lPos = r.f64()
+				s.rNeg = r.f64()
+				s.rPos = r.f64()
+			}
+		}
+		// Structural sanity: child pointers must stay in range.
+		if n.feature >= 0 {
+			if int64(n.left) >= nNodes || int64(n.right) >= nNodes ||
+				n.left <= 0 && n.right <= 0 {
+				return nil, fmt.Errorf("core: corrupt snapshot (node %d children %d/%d)",
+					i, n.left, n.right)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("core: reading snapshot: %w", r.err)
+	}
+	return t, nil
+}

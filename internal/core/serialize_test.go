@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+// trainForest builds a forest with some learned structure.
+func trainForest(t testing.TB, seed uint64, n int) *Forest {
+	t.Helper()
+	cfg := Config{Trees: 8, NumTests: 15, MinParentSize: 30, MinGain: 0.03,
+		LambdaPos: 1, LambdaNeg: 1, Seed: seed}
+	f := New(3, cfg)
+	r := rng.New(seed + 1)
+	for i := 0; i < n; i++ {
+		x, y := streamSample(r, 0.3, 0.5)
+		f.Update(x, y)
+	}
+	return f
+}
+
+func TestSnapshotRoundTripPredictions(t *testing.T) {
+	f := trainForest(t, 1, 3000)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	for i := 0; i < 200; i++ {
+		x, _ := streamSample(r, 0.3, 0.5)
+		if f.PredictProba(x) != g.PredictProba(x) {
+			t.Fatal("restored forest predicts differently")
+		}
+	}
+	fs, gs := f.Stats(), g.Stats()
+	if fs != gs {
+		t.Fatalf("stats differ: %+v vs %+v", fs, gs)
+	}
+}
+
+func TestSnapshotResumesIdenticalStream(t *testing.T) {
+	// A snapshot taken mid-stream and resumed must match a forest that
+	// never stopped — RNG state included.
+	mkStream := func(seed uint64) *rng.Source { return rng.New(seed) }
+
+	full := trainForest(t, 2, 0)
+	resumed := trainForest(t, 2, 0)
+	stream1, stream2 := mkStream(7), mkStream(7)
+
+	for i := 0; i < 1500; i++ {
+		x, y := streamSample(stream1, 0.3, 0.5)
+		full.Update(x, y)
+	}
+	// Run the twin to the same point, snapshot, restore, continue both.
+	for i := 0; i < 700; i++ {
+		x, y := streamSample(stream2, 0.3, 0.5)
+		resumed.Update(x, y)
+	}
+	var buf bytes.Buffer
+	if _, err := resumed.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 700; i < 1500; i++ {
+		x, y := streamSample(stream2, 0.3, 0.5)
+		restored.Update(x, y)
+	}
+	probe := rng.New(55)
+	for i := 0; i < 100; i++ {
+		x, _ := streamSample(probe, 0.3, 0.5)
+		if full.PredictProba(x) != restored.PredictProba(x) {
+			t.Fatal("resume-from-snapshot diverged from uninterrupted run")
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE1234567890"),
+		"truncated": append([]byte("ORF1"), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := ReadForest(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruptCounts(t *testing.T) {
+	f := trainForest(t, 3, 500)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the tree count (config Trees field) to something absurd.
+	// Offset: magic(4) + 6 counters (48) = 52 is the Trees field.
+	for i := 52; i < 60; i++ {
+		data[i] = 0xff
+	}
+	if _, err := ReadForest(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt tree count accepted")
+	}
+}
+
+func TestSnapshotPreservesConfig(t *testing.T) {
+	cfg := Config{Trees: 5, NumTests: 7, MinParentSize: 33, MinGain: 0.07,
+		LambdaPos: 1.5, LambdaNeg: 0.04, MaxDepth: 9, Seed: 77}
+	f := New(4, cfg)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.withDefaults()
+	if g.Config() != want {
+		t.Fatalf("config not preserved:\n got %+v\nwant %+v", g.Config(), want)
+	}
+	if g.Dim() != 4 {
+		t.Fatalf("dim = %d", g.Dim())
+	}
+}

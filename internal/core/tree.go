@@ -1,0 +1,285 @@
+package core
+
+import (
+	"orfdisk/internal/rng"
+)
+
+// test is one random candidate split "x[feature] <= thresh" with the
+// class statistics of the samples that fell on each side.
+type test struct {
+	feature int32
+	thresh  float64
+	// side stats: [left/right][neg/pos] weighted counts.
+	lNeg, lPos float64
+	rNeg, rPos float64
+}
+
+// oNode is one node of an online tree.
+type oNode struct {
+	// feature >= 0: internal node (x[feature] <= thresh goes left).
+	// feature < 0: leaf.
+	feature int32
+	thresh  float64
+	left    int32
+	right   int32
+	depth   int32
+
+	// Leaf state:
+	wNeg, wPos float64 // class counts absorbed by this leaf
+	tests      []test  // candidate split pool
+
+	// Split provenance (internal nodes): the Gini gain the chosen test
+	// achieved and the weighted sample mass at the node when it split,
+	// kept for feature-importance reporting.
+	splitGain float64
+	splitMass float64
+}
+
+func (n *oNode) isLeaf() bool { return n.feature < 0 }
+
+// prob returns the leaf's positive-class probability estimate with a
+// Laplace pseudo-count, so scores are graded by leaf support (a pure
+// 3-sample leaf scores lower than a pure 300-sample leaf) and quantile
+// operating points have distinct values to cut between.
+func (n *oNode) prob() float64 {
+	return (n.wPos + 1) / (n.wNeg + n.wPos + 2)
+}
+
+// onlineTree is one randomized tree grown on the fly.
+type onlineTree struct {
+	nodes []oNode
+	cfg   Config
+	r     *rng.Source
+	dim   int
+
+	// age counts update events (k > 0 arrivals) since (re)birth.
+	age int
+	// Discounted per-class out-of-bag error estimates. Keeping them per
+	// class stops the negative flood from masking positive-class decay.
+	oobErrNeg, oobErrPos   float64
+	oobSeenNeg, oobSeenPos bool
+}
+
+func newOnlineTree(cfg Config, dim int, r *rng.Source) *onlineTree {
+	t := &onlineTree{cfg: cfg, r: r, dim: dim}
+	t.nodes = append(t.nodes, oNode{feature: -1})
+	return t
+}
+
+// reset discards all learned structure (tree replacement, Alg. 1 l.26).
+func (t *onlineTree) reset() {
+	t.nodes = t.nodes[:0]
+	t.nodes = append(t.nodes, oNode{feature: -1})
+	t.age = 0
+	t.oobErrNeg, t.oobErrPos = 0, 0
+	t.oobSeenNeg, t.oobSeenPos = false, false
+}
+
+// findLeaf routes x to its leaf and returns the node id.
+func (t *onlineTree) findLeaf(x []float64) int32 {
+	id := int32(0)
+	for {
+		n := &t.nodes[id]
+		if n.isLeaf() {
+			return id
+		}
+		if x[n.feature] <= n.thresh {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// predictProba returns the tree's positive probability for x.
+func (t *onlineTree) predictProba(x []float64) float64 {
+	return t.nodes[t.findLeaf(x)].prob()
+}
+
+// update absorbs one (x, y) observation into the leaf that x reaches,
+// splitting the leaf when Algorithm 1's conditions are met
+// (|D| >= alpha AND exists s with gain >= beta).
+func (t *onlineTree) update(x []float64, y int) {
+	id := t.findLeaf(x)
+	n := &t.nodes[id]
+
+	// Grow the test pool lazily from data: half the tests take their
+	// threshold from an observed value of a random feature (adapts to
+	// skewed SMART counters, whose useful cut points sit near zero after
+	// min-max scaling), half take a uniform threshold in [0, 1].
+	for len(n.tests) < t.cfg.NumTests {
+		f := int32(t.r.Intn(t.dim))
+		var th float64
+		if t.r.Bernoulli(0.5) {
+			th = x[f]
+		} else {
+			th = t.r.Float64()
+		}
+		n.tests = append(n.tests, test{feature: f, thresh: th})
+	}
+
+	// UpdateNode: leaf and per-test side statistics.
+	if y == 1 {
+		n.wPos++
+	} else {
+		n.wNeg++
+	}
+	for i := range n.tests {
+		s := &n.tests[i]
+		if x[s.feature] <= s.thresh {
+			if y == 1 {
+				s.lPos++
+			} else {
+				s.lNeg++
+			}
+		} else {
+			if y == 1 {
+				s.rPos++
+			} else {
+				s.rNeg++
+			}
+		}
+	}
+
+	if n.wNeg+n.wPos < t.cfg.MinParentSize {
+		return
+	}
+	if int(n.depth) >= t.cfg.MaxDepth {
+		return
+	}
+	// MinGain (beta) is interpreted RELATIVE to the parent impurity:
+	// a split must remove at least a beta fraction of G(D). With the
+	// stream's residual imbalance (even after lambda_n thinning the
+	// positive fraction per tree is a few percent) the parent Gini is
+	// itself far below the paper's beta = 0.1, so an absolute threshold
+	// would block every split; the relative form is scale-free and
+	// preserves the hyper-parameter's intent.
+	best, gain := t.bestTest(n)
+	if best < 0 || gain < t.cfg.MinGain*gini(n.wNeg, n.wPos) {
+		return
+	}
+	t.split(id, best)
+}
+
+// gini returns p(1-p)*2 for the binary class counts, Eq. 1.
+func gini(neg, pos float64) float64 {
+	tot := neg + pos
+	if tot == 0 {
+		return 0
+	}
+	p := pos / tot
+	return 2 * p * (1 - p)
+}
+
+// bestTest returns the index of the highest-gain test and its gain
+// (Eq. 2), or (-1, 0) if the pool is empty or degenerate.
+func (t *onlineTree) bestTest(n *oNode) (int, float64) {
+	parent := gini(n.wNeg, n.wPos)
+	tot := n.wNeg + n.wPos
+	best, bestGain := -1, 0.0
+	for i := range n.tests {
+		s := &n.tests[i]
+		l := s.lNeg + s.lPos
+		r := s.rNeg + s.rPos
+		if l == 0 || r == 0 {
+			continue // degenerate split
+		}
+		gain := parent - l/tot*gini(s.lNeg, s.lPos) - r/tot*gini(s.rNeg, s.rPos)
+		if gain > bestGain {
+			best, bestGain = i, gain
+		}
+	}
+	return best, bestGain
+}
+
+// accumulateImportance adds each split's Gini gain, weighted by the
+// (weighted) sample mass that reached the split, into imp — the online
+// analogue of mean-decrease-in-impurity. This is the interpretability
+// hook the paper highlights: the forest can "reveal the real cause of
+// disk failures" by ranking the SMART features its splits rely on.
+func (t *onlineTree) accumulateImportance(imp []float64) {
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.feature >= 0 {
+			imp[n.feature] += n.splitGain * n.splitMass
+		}
+	}
+}
+
+// split turns leaf id into an internal node using test k, seeding the
+// children with the test's side statistics (CreateLeftChild /
+// CreateRightChild in Alg. 1).
+func (t *onlineTree) split(id int32, k int) {
+	s := t.nodes[id].tests[k]
+	depth := t.nodes[id].depth + 1
+	left := oNode{feature: -1, depth: depth, wNeg: s.lNeg, wPos: s.lPos}
+	right := oNode{feature: -1, depth: depth, wNeg: s.rNeg, wPos: s.rPos}
+	t.nodes = append(t.nodes, left)
+	leftID := int32(len(t.nodes) - 1)
+	t.nodes = append(t.nodes, right)
+	rightID := int32(len(t.nodes) - 1)
+
+	n := &t.nodes[id]
+	_, gain := t.bestTest(n) // recompute for provenance (cheap, rare)
+	n.splitGain = gain
+	n.splitMass = n.wNeg + n.wPos
+	n.feature = s.feature
+	n.thresh = s.thresh
+	n.left = leftID
+	n.right = rightID
+	n.tests = nil // release the pool
+	n.wNeg, n.wPos = 0, 0
+}
+
+// updateOOBE folds one out-of-bag observation into the discounted
+// per-class error estimates (Alg. 1 l.22).
+func (t *onlineTree) updateOOBE(x []float64, y int) {
+	pred := t.predictProba(x) >= 0.5
+	wrong := 0.0
+	if pred != (y == 1) {
+		wrong = 1
+	}
+	d := t.cfg.OOBEDecay
+	if y == 1 {
+		if !t.oobSeenPos {
+			t.oobErrPos, t.oobSeenPos = wrong, true
+		} else {
+			t.oobErrPos = d*t.oobErrPos + (1-d)*wrong
+		}
+	} else {
+		if !t.oobSeenNeg {
+			t.oobErrNeg, t.oobSeenNeg = wrong, true
+		} else {
+			t.oobErrNeg = d*t.oobErrNeg + (1-d)*wrong
+		}
+	}
+}
+
+// oobe returns the balanced out-of-bag error: the mean of the per-class
+// estimates (or the single seen class).
+func (t *onlineTree) oobe() float64 {
+	switch {
+	case t.oobSeenNeg && t.oobSeenPos:
+		return (t.oobErrNeg + t.oobErrPos) / 2
+	case t.oobSeenNeg:
+		return t.oobErrNeg
+	case t.oobSeenPos:
+		return t.oobErrPos
+	default:
+		return 0
+	}
+}
+
+// numNodes returns the node count.
+func (t *onlineTree) numNodes() int { return len(t.nodes) }
+
+// numLeaves returns the leaf count.
+func (t *onlineTree) numLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].isLeaf() {
+			n++
+		}
+	}
+	return n
+}

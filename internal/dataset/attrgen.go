@@ -1,0 +1,392 @@
+package dataset
+
+import (
+	"math"
+
+	"orfdisk/internal/rng"
+	"orfdisk/internal/smart"
+)
+
+// attrKind classifies how an attribute's raw value evolves.
+type attrKind uint8
+
+const (
+	// counter: monotone error counter, mostly zero on healthy disks,
+	// accelerating under degradation (Reallocated Sectors, ...).
+	counter attrKind = iota
+	// usage: monotone usage counter growing steadily with operation
+	// (Power-On Hours, Load Cycle Count, ...).
+	usage
+	// gauge: stationary measurement with noise (temperature, spin-up).
+	gauge
+	// vendorRate: Seagate-style bit-packed rate attribute whose raw value
+	// is effectively noise; health information lives in the norm
+	// (Read Error Rate, Seek Error Rate).
+	vendorRate
+)
+
+// attrGen is the generative spec of one SMART attribute.
+type attrGen struct {
+	id   int
+	kind attrKind
+
+	// baseRate: healthy daily increment rate (counter/usage) or the mean
+	// level (gauge).
+	baseRate float64
+	// noiseStd: gaussian noise of gauges.
+	noiseStd float64
+	// degrade: expected daily increment added at full degradation
+	// (h = 1) before SignalStrength and drift weighting. Zero means the
+	// attribute carries no fault signal.
+	degrade float64
+	// normDip: how far the norm sinks at full degradation, for
+	// vendorRate attributes whose raw is noise.
+	normDip float64
+	// driftGroup >= 0 subjects the attribute's fault signature to the
+	// slow rotation that ages offline models; the group selects the
+	// rotation phase.
+	driftGroup int
+	// vintage: sensitivity of the healthy baseRate to install date
+	// (fraction change across the window), the second aging mechanism.
+	vintage float64
+	// grumpy: whether the per-disk "grumpy but healthy" multiplier
+	// applies to the background rate of this counter.
+	grumpy bool
+
+	// norm mapping parameters.
+	normBase  float64 // healthy norm level
+	normScale float64 // counters: norm = normBase - normScale*log1p(raw)
+	normSlope float64 // usage: norm = normBase - raw/normSlope
+	normNoise float64 // gaussian noise added to the norm
+}
+
+// attrGens is the generative table for the 24-attribute catalog. Entries
+// with degrade > 0 or normDip > 0 carry fault signal (these are the
+// Table 2 attributes); the rest are the noise/redundant attributes the
+// paper's feature selection discards.
+var attrGens = []attrGen{
+	// --- Table 2 attributes (carry signal) ---
+	{id: 1, kind: vendorRate, normBase: 117, normDip: 22, normNoise: 2, driftGroup: 2},
+	{id: 5, kind: counter, baseRate: 0.0025, degrade: 8.0, grumpy: true,
+		driftGroup: 0, normBase: 100, normScale: 9, normNoise: 0.3},
+	{id: 7, kind: vendorRate, normBase: 87, normDip: 16, normNoise: 1.5, driftGroup: 1},
+	{id: 9, kind: usage, baseRate: 24, vintage: 0,
+		normBase: 100, normSlope: 1000, normNoise: 0.2},
+	{id: 12, kind: usage, baseRate: 0.05, vintage: 0.1,
+		normBase: 100, normSlope: 1.2, normNoise: 0.2},
+	{id: 183, kind: counter, baseRate: 0.0015, degrade: 2.4, grumpy: true,
+		driftGroup: 1, normBase: 100, normScale: 10, normNoise: 0.3},
+	{id: 184, kind: counter, baseRate: 0.0003, degrade: 3.0,
+		driftGroup: 2, normBase: 100, normScale: 11, normNoise: 0.3},
+	{id: 187, kind: counter, baseRate: 0.002, degrade: 12.0, grumpy: true,
+		driftGroup: 0, normBase: 100, normScale: 12, normNoise: 0.3},
+	{id: 189, kind: counter, baseRate: 0.0065, degrade: 1.6,
+		driftGroup: 2, normBase: 100, normScale: 7, normNoise: 0.3},
+	{id: 193, kind: usage, baseRate: 15, degrade: 10.0, vintage: 0.5,
+		driftGroup: 1, normBase: 100, normSlope: 110, normNoise: 0.2},
+	{id: 197, kind: counter, baseRate: 0.002, degrade: 10.0, grumpy: true,
+		driftGroup: 0, normBase: 100, normScale: 12, normNoise: 0.3},
+	{id: 198, kind: counter, baseRate: 0.0015, degrade: 4.0, grumpy: true,
+		driftGroup: 0, normBase: 100, normScale: 11, normNoise: 0.3},
+	{id: 199, kind: counter, baseRate: 0.0032, degrade: 1.0, grumpy: true,
+		driftGroup: 1, normBase: 100, normScale: 6, normNoise: 0.3},
+
+	// --- attributes outside Table 2 (no independent signal) ---
+	{id: 3, kind: gauge, baseRate: 420, noiseStd: 8, normBase: 93, normNoise: 1.2},
+	{id: 4, kind: usage, baseRate: 0.055, vintage: 0.1,
+		normBase: 100, normSlope: 1.3, normNoise: 0.2}, // redundant with 12
+	{id: 10, kind: counter, baseRate: 0.0002, normBase: 100, normScale: 20, normNoise: 0.1},
+	{id: 188, kind: counter, baseRate: 0.001, normBase: 100, normScale: 10, normNoise: 0.1},
+	{id: 190, kind: gauge, baseRate: 25, noiseStd: 2.5, normBase: 75, normNoise: 1.5},
+	{id: 191, kind: counter, baseRate: 0.01, grumpy: false,
+		normBase: 100, normScale: 5, normNoise: 0.3},
+	{id: 192, kind: usage, baseRate: 0.052, vintage: 0.1,
+		normBase: 100, normSlope: 1.25, normNoise: 0.2}, // redundant with 12
+	{id: 194, kind: gauge, baseRate: 26, noiseStd: 2.5, normBase: 26, normNoise: 1},
+	{id: 240, kind: usage, baseRate: 23.5, normBase: 100, normSlope: 1050, normNoise: 0.2}, // redundant with 9
+	{id: 241, kind: usage, baseRate: 48, normBase: 100, normNoise: 0.2},
+	{id: 242, kind: usage, baseRate: 95, normBase: 100, normNoise: 0.2},
+}
+
+// numDriftGroups is the count of distinct signature-rotation phases.
+const numDriftGroups = 3
+
+// driftWeight returns the signature rotation multiplier for a drift group
+// on a calendar day. Groups are phase-shifted thirds of a slow sinusoid:
+// when group 0 attributes express strongly, group 1 and 2 are damped, so
+// the "shape" of a failure drifts over calendar time while total signal
+// energy stays roughly constant.
+func driftWeight(p Profile, group, day int) float64 {
+	if group < 0 || p.DriftStrength == 0 || p.DriftPeriodDays <= 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * (float64(day)/float64(p.DriftPeriodDays) +
+		float64(group)/numDriftGroups)
+	return 1 + p.DriftStrength*0.75*math.Sin(phase)
+}
+
+// vintageFactor returns the healthy-rate multiplier for a disk installed
+// at installDay: later vintages run at shifted background rates, one of
+// the mechanisms that drags the negative-class distribution over time.
+func vintageFactor(p Profile, g attrGen, installDay int) float64 {
+	if g.vintage == 0 || p.DriftStrength == 0 {
+		return 1
+	}
+	frac := float64(installDay) / float64(p.Days())
+	if frac < -1 {
+		frac = -1
+	}
+	return 1 + p.DriftStrength*g.vintage*frac
+}
+
+// utilizationFactor models slow fleet-wide load variation applied to
+// usage counters: datacenter workload is not constant over three years.
+func utilizationFactor(p Profile, day int) float64 {
+	if p.DriftStrength == 0 {
+		return 1
+	}
+	return 1 + 0.25*p.DriftStrength*math.Sin(2*math.Pi*float64(day)/(float64(p.DriftPeriodDays)*1.7))
+}
+
+// drawFailureMode assigns the per-attribute signature weights of one
+// failing disk. A primary drift group is chosen with probability
+// proportional to the group's prevalence at the disk's failure time;
+// signature attributes inside the primary group express strongly (each
+// kept with high probability), the rest express weakly. Healthy and
+// unpredictable disks get all-zero weights.
+func drawFailureMode(prof Profile, meta DiskMeta, r *rng.Source) []float64 {
+	w := make([]float64, len(attrGens))
+	if !meta.Failed || meta.OnsetDay < 0 {
+		return w
+	}
+	// Prevalence-weighted primary group.
+	var cum [numDriftGroups]float64
+	total := 0.0
+	for g := 0; g < numDriftGroups; g++ {
+		total += driftWeight(prof, g, meta.FailDay)
+		cum[g] = total
+	}
+	pick := r.Float64() * total
+	primary := 0
+	for g := 0; g < numDriftGroups; g++ {
+		if pick <= cum[g] {
+			primary = g
+			break
+		}
+	}
+	strong := false
+	for i, g := range attrGens {
+		if g.degrade == 0 && g.normDip == 0 {
+			continue
+		}
+		switch {
+		case g.driftGroup == primary && r.Bernoulli(0.8):
+			w[i] = 0.6 + 0.8*r.Float64()
+			strong = true
+		case r.Bernoulli(0.15):
+			w[i] = 0.25 + 0.3*r.Float64()
+		}
+	}
+	if !strong {
+		// Guarantee at least one strongly expressed attribute in the
+		// primary group, otherwise the disk would be accidentally
+		// unpredictable.
+		for i, g := range attrGens {
+			if g.driftGroup == primary && (g.degrade > 0 || g.normDip > 0) {
+				w[i] = 0.6 + 0.8*r.Float64()
+				break
+			}
+		}
+	}
+	return w
+}
+
+// counterNorm maps a cumulative error count to its vendor-normalized
+// value.
+func counterNorm(g attrGen, raw float64, r *rng.Source) float64 {
+	n := g.normBase - g.normScale*math.Log1p(raw) + r.NormFloat64()*g.normNoise
+	return clampNorm(n)
+}
+
+func clampNorm(n float64) float64 {
+	n = math.Round(n)
+	if n < 1 {
+		return 1
+	}
+	if n > 253 {
+		return 253
+	}
+	return n
+}
+
+// diskState evolves one disk's SMART counters day by day.
+type diskState struct {
+	meta DiskMeta
+	prof Profile
+	r    *rng.Source
+
+	// raw[i] is the current raw value of attrGens[i].
+	raw []float64
+	// grumpyMult[i] is the per-disk, PER-ATTRIBUTE background multiplier
+	// for error counters: most are 1, a few percent of disks run
+	// chronically noisy on individual attributes. Keeping the draws
+	// independent per attribute matters: a disk noisy on every error
+	// counter at once would be indistinguishable from a failing disk.
+	grumpyMult []float64
+	// modeWeight[i] scales attrGens[i].degrade for THIS disk's failure
+	// mode. Disks fail in different ways: each failing disk expresses a
+	// sparse subset of the signature attributes, drawn from a primary
+	// drift group whose prevalence rotates with calendar time. Failure
+	// diversity is what makes a predictor need many observed failures
+	// before its detection rate converges (Figures 2-3), and the
+	// prevalence rotation is what ages a frozen model (Figures 4-7).
+	modeWeight []float64
+	// utilMult is the per-disk utilization multiplier for usage counters.
+	utilMult float64
+	// arNoise[i] is the AR(1) noise state of vendorRate norms: real
+	// SMART rate attributes fluctuate slowly, not independently per day.
+	// Autocorrelated noise keeps a healthy disk's lifetime-max excursion
+	// far smaller than independent daily draws would.
+	arNoise []float64
+
+	// catalog index of (attr, Norm) and (attr, Raw) per attrGens entry.
+	normIdx, rawIdx []int
+}
+
+// newDiskState initializes a disk's state at the start of the observation
+// window, including closed-form pre-aging of counters for disks installed
+// before day 0.
+func newDiskState(prof Profile, meta DiskMeta, seed uint64) *diskState {
+	st := &diskState{
+		meta:    meta,
+		prof:    prof,
+		r:       rng.New(seed),
+		raw:     make([]float64, len(attrGens)),
+		normIdx: make([]int, len(attrGens)),
+		rawIdx:  make([]int, len(attrGens)),
+	}
+	for i, g := range attrGens {
+		st.normIdx[i] = smart.FeatureIndex(g.id, smart.Norm)
+		st.rawIdx[i] = smart.FeatureIndex(g.id, smart.Raw)
+	}
+	st.grumpyMult = make([]float64, len(attrGens))
+	for i, g := range attrGens {
+		if !g.grumpy {
+			st.grumpyMult[i] = 1
+			continue
+		}
+		// Healthy disks trickle errors at the base rate; a thin tail is
+		// chronically noisy on individual counters. The noisy tail is
+		// what keeps the false-alarm rate above zero.
+		st.grumpyMult[i] = 1
+		if st.r.Bernoulli(0.012) {
+			st.grumpyMult[i] = 2.5 + st.r.ExpFloat64()*3
+		}
+	}
+	st.utilMult = 0.8 + 0.4*st.r.Float64()
+	st.modeWeight = drawFailureMode(prof, meta, st.r)
+	st.arNoise = make([]float64, len(attrGens))
+
+	// Pre-age counters for the period [InstallDay, 0).
+	preDays := -meta.InstallDay
+	if preDays > 0 {
+		for i, g := range attrGens {
+			switch g.kind {
+			case counter:
+				rate := g.baseRate * st.backgroundMult(i)
+				st.raw[i] = float64(st.r.Poisson(rate * float64(preDays)))
+			case usage:
+				rate := g.baseRate * st.utilMult * vintageFactor(prof, g, meta.InstallDay)
+				st.raw[i] = rate * float64(preDays) * (0.95 + 0.1*st.r.Float64())
+			}
+		}
+	}
+	return st
+}
+
+func (st *diskState) backgroundMult(i int) float64 {
+	return st.grumpyMult[i]
+}
+
+// health returns the latent degradation level on a day: 0 for healthy
+// disks and before onset, ramping to 1 at failure with an accelerating
+// profile.
+func (st *diskState) health(day int) float64 {
+	m := st.meta
+	if !m.Failed || m.OnsetDay < 0 || day < m.OnsetDay {
+		return 0
+	}
+	span := float64(m.FailDay - m.OnsetDay)
+	if span <= 0 {
+		return 1
+	}
+	t := float64(day-m.OnsetDay) / span
+	if t > 1 {
+		t = 1
+	}
+	return math.Pow(t, 1.5)
+}
+
+// step advances the disk by one day and returns its snapshot. day must
+// increase by exactly 1 between calls (starting at max(0, InstallDay)).
+func (st *diskState) step(day int) smart.Sample {
+	h := st.health(day)
+	util := utilizationFactor(st.prof, day)
+
+	s := smart.Sample{
+		Serial:  st.meta.Serial,
+		Model:   st.prof.Model,
+		Day:     day,
+		Failure: st.meta.Failed && day == st.meta.FailDay,
+		Values:  make([]float64, smart.NumFeatures()),
+	}
+
+	for i, g := range attrGens {
+		switch g.kind {
+		case counter:
+			rate := g.baseRate * st.backgroundMult(i)
+			if h > 0 && g.degrade > 0 {
+				rate += g.degrade * st.prof.SignalStrength * h * st.modeWeight[i]
+			}
+			st.raw[i] += float64(st.r.Poisson(rate))
+			s.Values[st.rawIdx[i]] = st.raw[i]
+			s.Values[st.normIdx[i]] = counterNorm(g, st.raw[i], st.r)
+
+		case usage:
+			rate := g.baseRate * st.utilMult * util *
+				vintageFactor(st.prof, g, st.meta.InstallDay)
+			if h > 0 && g.degrade > 0 {
+				rate += g.degrade * st.prof.SignalStrength * h * st.modeWeight[i]
+			}
+			if rate < 0 {
+				rate = 0
+			}
+			st.raw[i] += rate * (0.9 + 0.2*st.r.Float64())
+			s.Values[st.rawIdx[i]] = math.Floor(st.raw[i])
+			n := g.normBase + st.r.NormFloat64()*g.normNoise
+			if g.normSlope > 0 {
+				n -= st.raw[i] / g.normSlope
+			}
+			s.Values[st.normIdx[i]] = clampNorm(n)
+
+		case gauge:
+			v := g.baseRate + st.r.NormFloat64()*g.noiseStd
+			st.raw[i] = v
+			s.Values[st.rawIdx[i]] = math.Round(v*10) / 10
+			s.Values[st.normIdx[i]] = clampNorm(g.normBase +
+				(g.baseRate - v) + st.r.NormFloat64()*g.normNoise)
+
+		case vendorRate:
+			// Raw is vendor bit-packing noise with no health content.
+			s.Values[st.rawIdx[i]] = float64(st.r.Uint64n(200_000_000))
+			dip := g.normDip * st.prof.SignalStrength * h * st.modeWeight[i]
+			// AR(1) noise with the same stationary variance as an
+			// independent N(0, normNoise) draw.
+			const rho = 0.9
+			st.arNoise[i] = rho*st.arNoise[i] +
+				st.r.NormFloat64()*g.normNoise*math.Sqrt(1-rho*rho)
+			s.Values[st.normIdx[i]] = clampNorm(g.normBase - dip + st.arNoise[i])
+		}
+	}
+	return s
+}

@@ -1,0 +1,494 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"orfdisk/internal/smart"
+	"orfdisk/internal/stats"
+)
+
+func tinySTA() Profile {
+	p := STA(0.01) // ~345 good, ~20 failed
+	p.Months = 12
+	return p
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := STA(0.01).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Profile{Name: "X", Months: 0, GoodDisks: 1}
+	if bad.Validate() == nil {
+		t.Fatal("zero-month profile accepted")
+	}
+	bad = Profile{Name: "X", Months: 1}
+	if bad.Validate() == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	bad = Profile{Name: "X", Months: 1, GoodDisks: 1, UnpredictableFrac: 2}
+	if bad.Validate() == nil {
+		t.Fatal("UnpredictableFrac > 1 accepted")
+	}
+}
+
+func TestProfileScaling(t *testing.T) {
+	full := STA(1)
+	if full.GoodDisks != 34535 || full.FailedDisks != 1996 || full.Months != 39 {
+		t.Fatalf("STA(1) = %+v, want Table 1 values", full)
+	}
+	fullB := STB(1)
+	if fullB.GoodDisks != 2898 || fullB.FailedDisks != 1357 || fullB.Months != 20 {
+		t.Fatalf("STB(1) = %+v, want Table 1 values", fullB)
+	}
+	small := STA(0.001)
+	if small.GoodDisks < 1 || small.FailedDisks < 1 {
+		t.Fatalf("scaling must keep at least one disk per class: %+v", small)
+	}
+}
+
+func TestGeneratorMetadataInvariants(t *testing.T) {
+	p := tinySTA()
+	p.UnpredictableFrac = 0.3 // ensure some appear even in a tiny fleet
+	g, err := New(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := g.Profile().Days()
+	failed, unpredictable := 0, 0
+	serials := map[string]bool{}
+	for _, m := range g.Disks() {
+		if serials[m.Serial] {
+			t.Fatalf("duplicate serial %q", m.Serial)
+		}
+		serials[m.Serial] = true
+		if m.Failed {
+			failed++
+			if m.FailDay < 0 || m.FailDay >= days {
+				t.Fatalf("disk %s FailDay %d outside window", m.Serial, m.FailDay)
+			}
+			if m.InstallDay >= m.FailDay {
+				t.Fatalf("disk %s installed after failing", m.Serial)
+			}
+			if m.Unpredictable {
+				unpredictable++
+				if m.OnsetDay != -1 {
+					t.Fatalf("unpredictable disk %s has onset", m.Serial)
+				}
+			} else {
+				if m.OnsetDay < m.InstallDay || m.OnsetDay > m.FailDay {
+					t.Fatalf("disk %s onset %d outside [install,fail]", m.Serial, m.OnsetDay)
+				}
+			}
+		} else {
+			if m.FailDay != -1 || m.OnsetDay != -1 {
+				t.Fatalf("good disk %s has failure metadata", m.Serial)
+			}
+		}
+	}
+	if failed != g.Profile().FailedDisks {
+		t.Fatalf("%d failed disks, want %d", failed, g.Profile().FailedDisks)
+	}
+	if unpredictable == 0 {
+		t.Fatal("no unpredictable failures generated (expected a few percent)")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := tinySTA()
+	g1, _ := New(p, 42)
+	g2, _ := New(p, 42)
+	m1, m2 := g1.Disks()[3], g2.Disks()[3]
+	if m1 != m2 {
+		t.Fatalf("metadata differs: %+v vs %+v", m1, m2)
+	}
+	s1 := g1.DiskSamples(m1)
+	s2 := g2.DiskSamples(m2)
+	if len(s1) != len(s2) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		for j := range s1[i].Values {
+			if s1[i].Values[j] != s2[i].Values[j] {
+				t.Fatalf("sample %d value %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDiskSamplesShape(t *testing.T) {
+	g, _ := New(tinySTA(), 1)
+	days := g.Profile().Days()
+	for _, m := range g.Disks()[:50] {
+		ss := g.DiskSamples(m)
+		if len(ss) == 0 {
+			t.Fatalf("disk %s has no samples", m.Serial)
+		}
+		first, last := ss[0], ss[len(ss)-1]
+		if first.Day != m.FirstObservedDay() {
+			t.Fatalf("disk %s first day %d, want %d", m.Serial, first.Day, m.FirstObservedDay())
+		}
+		if last.Day != m.LastObservedDay(days) {
+			t.Fatalf("disk %s last day %d, want %d", m.Serial, last.Day, m.LastObservedDay(days))
+		}
+		for i, s := range ss {
+			if len(s.Values) != smart.NumFeatures() {
+				t.Fatalf("sample has %d values", len(s.Values))
+			}
+			if s.Serial != m.Serial || s.Model != g.Profile().Model {
+				t.Fatalf("sample identity wrong: %+v", s)
+			}
+			wantFail := m.Failed && s.Day == m.FailDay
+			if s.Failure != wantFail {
+				t.Fatalf("disk %s sample %d failure flag %v, want %v", m.Serial, i, s.Failure, wantFail)
+			}
+		}
+	}
+}
+
+func TestCountersMonotone(t *testing.T) {
+	g, _ := New(tinySTA(), 3)
+	cumulativeIdx := []int{}
+	for i, f := range smart.Catalog() {
+		if f.Kind == smart.Raw && f.Attr.Cumulative {
+			cumulativeIdx = append(cumulativeIdx, i)
+		}
+	}
+	// Also attribute 197 raw (pending sectors) is monotone in our model.
+	for _, m := range g.Disks()[:30] {
+		ss := g.DiskSamples(m)
+		for i := 1; i < len(ss); i++ {
+			for _, ci := range cumulativeIdx {
+				if ss[i].Values[ci] < ss[i-1].Values[ci]-1e-9 {
+					f := smart.Catalog()[ci]
+					t.Fatalf("disk %s: cumulative %s decreased on day %d: %v -> %v",
+						m.Serial, f.Name(), ss[i].Day, ss[i-1].Values[ci], ss[i].Values[ci])
+				}
+			}
+		}
+	}
+}
+
+func TestNormValuesInSMARTRange(t *testing.T) {
+	g, _ := New(tinySTA(), 4)
+	for _, m := range g.Disks()[:30] {
+		for _, s := range g.DiskSamples(m) {
+			for i, f := range smart.Catalog() {
+				if f.Kind != smart.Norm {
+					continue
+				}
+				v := s.Values[i]
+				if v < 1 || v > 253 || v != math.Round(v) {
+					t.Fatalf("disk %s day %d: %s = %v outside SMART norm range",
+						m.Serial, s.Day, f.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestFailingDisksShowSignature(t *testing.T) {
+	// Predictable failed disks must accumulate clearly more error counts
+	// in their final week than matched healthy disks; that separation is
+	// what the whole prediction problem rests on.
+	g, _ := New(tinySTA(), 5)
+	// Disks fail in diverse modes, so judge the combined error-counter
+	// signature rather than any single attribute.
+	var sigIdx []int
+	for _, id := range []int{5, 183, 184, 187, 189, 197, 198, 199} {
+		sigIdx = append(sigIdx, smart.FeatureIndex(id, smart.Raw))
+	}
+	signature := func(s smart.Sample) float64 {
+		sum := 0.0
+		for _, i := range sigIdx {
+			sum += s.Values[i]
+		}
+		return sum
+	}
+	var failFinal, goodFinal []float64
+	for _, m := range g.Disks() {
+		ss := g.DiskSamples(m)
+		if len(ss) == 0 {
+			continue
+		}
+		last := ss[len(ss)-1]
+		if m.Failed && !m.Unpredictable {
+			failFinal = append(failFinal, signature(last))
+		} else if !m.Failed {
+			goodFinal = append(goodFinal, signature(last))
+		}
+	}
+	if len(failFinal) < 5 {
+		t.Skip("too few predictable failures at this scale")
+	}
+	df := stats.Describe(failFinal)
+	dg := stats.Describe(goodFinal)
+	if df.Median <= dg.Median+5 {
+		t.Fatalf("no signature separation: failed median %v vs good median %v",
+			df.Median, dg.Median)
+	}
+	res := stats.RankSum(failFinal, goodFinal)
+	if !res.Discriminative(0.001) {
+		t.Fatalf("rank-sum cannot separate final signature values: p=%v", res.PValue)
+	}
+}
+
+func TestUnpredictableFailuresShowNoSignature(t *testing.T) {
+	p := tinySTA()
+	p.UnpredictableFrac = 1 // force all failures unpredictable
+	g, _ := New(p, 6)
+	idx := smart.FeatureIndex(197, smart.Raw)
+	for _, m := range g.Disks() {
+		if !m.Failed {
+			continue
+		}
+		ss := g.DiskSamples(m)
+		last := ss[len(ss)-1]
+		if last.Values[idx] > 50 {
+			t.Fatalf("unpredictable disk %s has pending sectors %v", m.Serial, last.Values[idx])
+		}
+	}
+}
+
+func TestNoiseAttributesDoNotDiscriminate(t *testing.T) {
+	// Temperature (194 raw) must NOT separate classes; the rank-sum
+	// filter relies on this to discard it.
+	g, _ := New(tinySTA(), 8)
+	idx := smart.FeatureIndex(194, smart.Raw)
+	var pos, neg []float64
+	for _, m := range g.Disks() {
+		ss := g.DiskSamples(m)
+		if len(ss) == 0 {
+			continue
+		}
+		last := ss[len(ss)-1]
+		if m.Failed {
+			pos = append(pos, last.Values[idx])
+		} else if len(neg) < 200 {
+			neg = append(neg, last.Values[idx])
+		}
+	}
+	res := stats.RankSum(pos, neg)
+	if res.Discriminative(0.001) {
+		t.Fatalf("temperature discriminates classes (p=%v); it should be noise", res.PValue)
+	}
+}
+
+func TestStreamChronologicalAndComplete(t *testing.T) {
+	g, _ := New(tinySTA(), 9)
+	days := g.Profile().Days()
+	var count int64
+	lastDay := -1
+	perDisk := map[string]int{}
+	err := g.Stream(func(s smart.Sample) error {
+		if s.Day < lastDay {
+			return errors.New("stream went backwards in time")
+		}
+		lastDay = s.Day
+		perDisk[s.Serial]++
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, m := range g.Disks() {
+		first, last := m.FirstObservedDay(), m.LastObservedDay(days)
+		if last >= first {
+			want += int64(last - first + 1)
+		}
+		got := perDisk[m.Serial]
+		if got != last-first+1 {
+			t.Fatalf("disk %s streamed %d samples, want %d", m.Serial, got, last-first+1)
+		}
+	}
+	if count != want {
+		t.Fatalf("streamed %d samples, want %d", count, want)
+	}
+}
+
+func TestStreamMatchesDiskSamples(t *testing.T) {
+	g, _ := New(tinySTA(), 10)
+	m := g.Disks()[2]
+	direct := g.DiskSamples(m)
+	var streamed []smart.Sample
+	err := g.StreamDisks([]DiskMeta{m}, func(s smart.Sample) error {
+		streamed = append(streamed, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(direct) {
+		t.Fatalf("stream %d vs direct %d samples", len(streamed), len(direct))
+	}
+	for i := range direct {
+		for j := range direct[i].Values {
+			if direct[i].Values[j] != streamed[i].Values[j] {
+				t.Fatalf("sample %d value %d differs between Stream and DiskSamples", i, j)
+			}
+		}
+	}
+}
+
+func TestStreamAbortsOnError(t *testing.T) {
+	g, _ := New(tinySTA(), 11)
+	boom := errors.New("boom")
+	n := 0
+	err := g.Stream(func(smart.Sample) error {
+		n++
+		if n == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 10 {
+		t.Fatalf("callback ran %d times, want 10", n)
+	}
+}
+
+func TestStreamRejectsForeignDisk(t *testing.T) {
+	g, _ := New(tinySTA(), 12)
+	alien := DiskMeta{Serial: "NOPE", Index: 0}
+	if err := g.StreamDisks([]DiskMeta{alien}, func(smart.Sample) error { return nil }); err == nil {
+		t.Fatal("foreign disk accepted")
+	}
+}
+
+func TestSplitDisks(t *testing.T) {
+	g, _ := New(tinySTA(), 13)
+	s := SplitDisks(g.Disks(), 0.7, 99)
+	total := len(s.Train) + len(s.Test)
+	if total != len(g.Disks()) {
+		t.Fatalf("split covers %d disks, want %d", total, len(g.Disks()))
+	}
+	seen := map[string]int{}
+	for _, m := range s.Train {
+		seen[m.Serial]++
+	}
+	for _, m := range s.Test {
+		seen[m.Serial]++
+	}
+	for serial, n := range seen {
+		if n != 1 {
+			t.Fatalf("disk %s appears %d times across the split", serial, n)
+		}
+	}
+	// Stratification: both sides must contain failed disks.
+	if CountFailed(s.Train) == 0 || CountFailed(s.Test) == 0 {
+		t.Fatalf("split lost a class: train %d / test %d failed",
+			CountFailed(s.Train), CountFailed(s.Test))
+	}
+	// Fraction within rounding.
+	frac := float64(len(s.Train)) / float64(total)
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("train fraction %v, want ~0.7", frac)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	g, _ := New(tinySTA(), 14)
+	a := SplitDisks(g.Disks(), 0.7, 5)
+	b := SplitDisks(g.Disks(), 0.7, 5)
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("split sizes differ for same seed")
+	}
+	for i := range a.Train {
+		if a.Train[i].Serial != b.Train[i].Serial {
+			t.Fatal("split membership differs for same seed")
+		}
+	}
+	c := SplitDisks(g.Disks(), 0.7, 6)
+	same := 0
+	for i := range a.Train {
+		if i < len(c.Train) && a.Train[i].Serial == c.Train[i].Serial {
+			same++
+		}
+	}
+	if same == len(a.Train) {
+		t.Fatal("different seeds produced identical split order")
+	}
+}
+
+func TestFailedBefore(t *testing.T) {
+	disks := []DiskMeta{
+		{Serial: "a", Failed: true, FailDay: 10},
+		{Serial: "b", Failed: true, FailDay: 50},
+		{Serial: "c"},
+	}
+	got := FailedBefore(disks, 20)
+	if len(got) != 1 || got[0].Serial != "a" {
+		t.Fatalf("FailedBefore = %+v", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	g, _ := New(tinySTA(), 15)
+	o := Table1(g)
+	if o.GoodDisks != g.Profile().GoodDisks || o.FailedDisks != g.Profile().FailedDisks {
+		t.Fatalf("overview %+v", o)
+	}
+	if o.TotalSamples == 0 || o.PositiveSamples == 0 {
+		t.Fatalf("overview has no samples: %+v", o)
+	}
+	if o.PositiveSamples > int64(o.FailedDisks*7) {
+		t.Fatalf("positive samples %d exceed 7 per failed disk", o.PositiveSamples)
+	}
+	// Imbalance should be in the hundreds (paper: "hundreds to thousands").
+	if o.imbalance() < 50 {
+		t.Fatalf("imbalance 1:%d suspiciously low", o.imbalance())
+	}
+	if o.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDriftWeightBounds(t *testing.T) {
+	p := STA(0.01)
+	for day := 0; day < p.Days(); day += 30 {
+		for grp := 0; grp < numDriftGroups; grp++ {
+			w := driftWeight(p, grp, day)
+			if w < 0 || w > 2 {
+				t.Fatalf("driftWeight(%d,%d) = %v out of [0,2]", grp, day, w)
+			}
+		}
+	}
+	if w := driftWeight(p, -1, 100); w != 1 {
+		t.Fatalf("no-group weight = %v, want 1", w)
+	}
+	p.DriftStrength = 0
+	if w := driftWeight(p, 0, 100); w != 1 {
+		t.Fatalf("zero-drift weight = %v, want 1", w)
+	}
+}
+
+func TestDistributionDriftsOverTime(t *testing.T) {
+	// The fleet-average of a cumulative attribute must grow over calendar
+	// time — the root cause of model aging the paper identifies.
+	g, _ := New(tinySTA(), 16)
+	idxPOH := smart.FeatureIndex(9, smart.Raw)
+	days := g.Profile().Days()
+	var early, late []float64
+	err := g.Stream(func(s smart.Sample) error {
+		switch {
+		case s.Day == 10:
+			early = append(early, s.Values[idxPOH])
+		case s.Day == days-10:
+			late = append(late, s.Values[idxPOH])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, dl := stats.Describe(early), stats.Describe(late)
+	if dl.Median <= de.Median {
+		t.Fatalf("fleet POH did not grow: early median %v, late median %v",
+			de.Median, dl.Median)
+	}
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"orfdisk/internal/rng"
+	"orfdisk/internal/smart"
+)
+
+// DiskMeta is the ground-truth record of one simulated disk.
+type DiskMeta struct {
+	Serial string
+	Index  int
+	Failed bool
+	// Unpredictable marks failures with no SMART signature (sudden
+	// mechanical/electronic deaths); the model cannot detect these from
+	// the data, which bounds FDR below 100%.
+	Unpredictable bool
+	// InstallDay may be negative: the disk was already in service when
+	// the observation window opened (its counters are pre-aged).
+	InstallDay int
+	// FailDay is the disk's last reporting day; -1 for good disks.
+	FailDay int
+	// OnsetDay is the first day of the degradation ramp; -1 if none.
+	OnsetDay int
+}
+
+// FirstObservedDay returns the first day within the window on which the
+// disk reports.
+func (m DiskMeta) FirstObservedDay() int {
+	if m.InstallDay > 0 {
+		return m.InstallDay
+	}
+	return 0
+}
+
+// LastObservedDay returns the last day within [0, windowDays) on which the
+// disk reports.
+func (m DiskMeta) LastObservedDay(windowDays int) int {
+	if m.Failed {
+		return m.FailDay
+	}
+	return windowDays - 1
+}
+
+// Generator produces the synthetic fleet for one profile. It is safe for
+// concurrent readers after construction.
+type Generator struct {
+	prof  Profile
+	seed  uint64
+	disks []DiskMeta
+	// diskSeed[i] seeds disk i's private random stream, so any disk's
+	// trajectory regenerates identically in isolation.
+	diskSeed []uint64
+}
+
+// New builds the fleet metadata (install/fail/onset days) for prof.
+func New(prof Profile, seed uint64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{prof: prof, seed: seed}
+	r := rng.New(seed)
+	days := prof.Days()
+	n := prof.TotalDisks()
+	g.disks = make([]DiskMeta, 0, n)
+	g.diskSeed = make([]uint64, 0, n)
+
+	for i := 0; i < n; i++ {
+		failed := i < prof.FailedDisks
+		m := DiskMeta{
+			Serial:   fmt.Sprintf("%s-%06d", prof.Name, i),
+			Index:    i,
+			Failed:   failed,
+			FailDay:  -1,
+			OnsetDay: -1,
+		}
+		if failed {
+			// Spread failures across the whole window so every month of
+			// the long-term experiments contains failure events.
+			m.FailDay = 15 + r.Intn(maxInt(1, days-15))
+			// Failing disks tend to be old at failure: lifetime of about
+			// a year plus an exponential tail. This is what makes
+			// Power-On Hours (Table 2 rank 5) genuinely informative.
+			lifetime := 150 + int(r.ExpFloat64()*400)
+			if lifetime > 1800 {
+				lifetime = 1800
+			}
+			m.InstallDay = m.FailDay - lifetime
+			m.Unpredictable = r.Bernoulli(prof.UnpredictableFrac)
+			if !m.Unpredictable {
+				onsetWindow := 10 + int(r.ExpFloat64()*25)
+				if onsetWindow < 3 {
+					onsetWindow = 3
+				}
+				m.OnsetDay = m.FailDay - onsetWindow
+				if m.OnsetDay < m.InstallDay {
+					m.OnsetDay = m.InstallDay
+				}
+			}
+		} else {
+			// Good disks: a mix of pre-window vintages and mid-window
+			// arrivals (the fleet keeps growing, as Backblaze's did).
+			lo, hi := -600, int(float64(days)*0.6)
+			m.InstallDay = lo + r.Intn(hi-lo+1)
+		}
+		g.disks = append(g.disks, m)
+		g.diskSeed = append(g.diskSeed, r.Uint64())
+	}
+	return g, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Disks returns the fleet metadata. The slice is shared; do not modify.
+func (g *Generator) Disks() []DiskMeta { return g.disks }
+
+// DiskBySerial returns the metadata of one disk.
+func (g *Generator) DiskBySerial(serial string) (DiskMeta, bool) {
+	for _, m := range g.disks {
+		if m.Serial == serial {
+			return m, true
+		}
+	}
+	return DiskMeta{}, false
+}
+
+// DiskSamples materializes the full in-window trajectory of one disk.
+func (g *Generator) DiskSamples(m DiskMeta) []smart.Sample {
+	st := newDiskState(g.prof, m, g.diskSeed[m.Index])
+	first := m.FirstObservedDay()
+	last := m.LastObservedDay(g.prof.Days())
+	if last < first {
+		return nil
+	}
+	out := make([]smart.Sample, 0, last-first+1)
+	// The state machine requires consecutive days starting at the first
+	// in-window day; pre-window days were folded into newDiskState.
+	for d := first; d <= last; d++ {
+		out = append(out, st.step(d))
+	}
+	return out
+}
+
+// Stream generates the whole fleet in chronological order (day-major,
+// disk-index order within a day) and calls fn for every sample. This is
+// the arrival order the online protocols consume. fn returning an error
+// aborts the stream.
+func (g *Generator) Stream(fn func(smart.Sample) error) error {
+	return g.StreamDisks(g.disks, fn)
+}
+
+// StreamDisks streams only the given disks (e.g. the training split) in
+// chronological order.
+func (g *Generator) StreamDisks(disks []DiskMeta, fn func(smart.Sample) error) error {
+	days := g.prof.Days()
+	// Active disk states, keyed by first observation day.
+	byStart := make(map[int][]*diskState)
+	for _, m := range disks {
+		if m.Index < 0 || m.Index >= len(g.disks) || g.disks[m.Index].Serial != m.Serial {
+			return fmt.Errorf("dataset: disk %q does not belong to this generator", m.Serial)
+		}
+		byStart[m.FirstObservedDay()] = append(byStart[m.FirstObservedDay()],
+			newDiskState(g.prof, m, g.diskSeed[m.Index]))
+	}
+	var active []*diskState
+	for day := 0; day < days; day++ {
+		if starts := byStart[day]; len(starts) > 0 {
+			active = append(active, starts...)
+			delete(byStart, day)
+			// Keep deterministic disk-index order within a day.
+			sort.Slice(active, func(i, j int) bool {
+				return active[i].meta.Index < active[j].meta.Index
+			})
+		}
+		w := 0
+		for _, st := range active {
+			if err := fn(st.step(day)); err != nil {
+				return err
+			}
+			if !(st.meta.Failed && day == st.meta.FailDay) {
+				active[w] = st
+				w++
+			}
+		}
+		active = active[:w]
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import "orfdisk/internal/rng"
+
+// Split is a disk-level train/test partition. The paper splits disks, not
+// samples: 70% of good and failed disks each go to training, 30% to test
+// (section 4.4), so no disk contributes samples to both sides.
+type Split struct {
+	Train, Test []DiskMeta
+}
+
+// SplitDisks partitions disks into train/test with the given training
+// fraction, stratified by failure status so both sides preserve the class
+// ratio. The split is deterministic in seed.
+func SplitDisks(disks []DiskMeta, trainFrac float64, seed uint64) Split {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	r := rng.New(seed)
+	var good, failed []DiskMeta
+	for _, m := range disks {
+		if m.Failed {
+			failed = append(failed, m)
+		} else {
+			good = append(good, m)
+		}
+	}
+	var s Split
+	for _, group := range [][]DiskMeta{good, failed} {
+		perm := r.Perm(len(group))
+		nTrain := int(float64(len(group))*trainFrac + 0.5)
+		for i, pi := range perm {
+			if i < nTrain {
+				s.Train = append(s.Train, group[pi])
+			} else {
+				s.Test = append(s.Test, group[pi])
+			}
+		}
+	}
+	return s
+}
+
+// CountFailed returns the number of failed disks in ds.
+func CountFailed(ds []DiskMeta) int {
+	n := 0
+	for _, m := range ds {
+		if m.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedBefore returns the failed disks in ds whose failure day is < day.
+func FailedBefore(ds []DiskMeta, day int) []DiskMeta {
+	var out []DiskMeta
+	for _, m := range ds {
+		if m.Failed && m.FailDay < day {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Overview summarizes a fleet the way the paper's Table 1 does.
+type Overview struct {
+	Name        string
+	Model       string
+	CapacityTB  int
+	GoodDisks   int
+	FailedDisks int
+	Months      int
+	// TotalSamples is the number of daily snapshots the window yields
+	// (computed from metadata, without generating them).
+	TotalSamples int64
+	// PositiveSamples is the number of snapshots within the 7-day
+	// pre-failure horizon of predictable and unpredictable failed disks.
+	PositiveSamples int64
+	Unpredictable   int
+}
+
+// Table1 computes the overview of a generated fleet.
+func Table1(g *Generator) Overview {
+	p := g.Profile()
+	o := Overview{
+		Name:        p.Name,
+		Model:       p.Model,
+		CapacityTB:  p.CapacityTB,
+		GoodDisks:   p.GoodDisks,
+		FailedDisks: p.FailedDisks,
+		Months:      p.Months,
+	}
+	days := p.Days()
+	for _, m := range g.Disks() {
+		first := m.FirstObservedDay()
+		last := m.LastObservedDay(days)
+		if last < first {
+			continue
+		}
+		n := int64(last - first + 1)
+		o.TotalSamples += n
+		if m.Failed {
+			if m.Unpredictable {
+				o.Unpredictable++
+			}
+			pos := int64(7)
+			if pos > n {
+				pos = n
+			}
+			o.PositiveSamples += pos
+		}
+	}
+	return o
+}
+
+// String renders the overview as a Table 1-style block.
+func (o Overview) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", o.Name, o.Model)
+	fmt.Fprintf(&b, "  Capacity(TB)     %d\n", o.CapacityTB)
+	fmt.Fprintf(&b, "  #GoodDisks       %d\n", o.GoodDisks)
+	fmt.Fprintf(&b, "  #FailedDisks     %d\n", o.FailedDisks)
+	fmt.Fprintf(&b, "  Duration         %d months\n", o.Months)
+	fmt.Fprintf(&b, "  Samples          %d (%d positive, imbalance 1:%d)\n",
+		o.TotalSamples, o.PositiveSamples, o.imbalance())
+	fmt.Fprintf(&b, "  Unpredictable    %d failed disks without SMART signature\n",
+		o.Unpredictable)
+	return b.String()
+}
+
+func (o Overview) imbalance() int64 {
+	if o.PositiveSamples == 0 {
+		return 0
+	}
+	return (o.TotalSamples - o.PositiveSamples) / o.PositiveSamples
+}

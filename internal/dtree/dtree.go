@@ -1,0 +1,369 @@
+// Package dtree implements binary-classification CART decision trees with
+// Gini impurity — the offline DT baseline of the paper (MATLAB fitctree
+// with Gini's diversity index and a MaxNumSplits cap) and the unit tree of
+// the offline random forest in internal/forest.
+//
+// Trees support class weights (the DT baseline's knob for trading FDR
+// against FAR), per-split feature subsampling (mtry, for forests) and
+// probability output so the operating point can be tuned downstream.
+package dtree
+
+import (
+	"fmt"
+	"sort"
+
+	"orfdisk/internal/rng"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MaxSplits caps the number of internal nodes, like fitctree's
+	// MaxNumSplits; 0 means unlimited. Splits are applied best-first, so
+	// a small cap keeps the most informative splits.
+	MaxSplits int
+	// MinLeafSize is the minimum number of samples in each child of a
+	// split (>= 1).
+	MinLeafSize int
+	// MinGain is the minimum weighted impurity decrease a split must
+	// achieve.
+	MinGain float64
+	// ClassWeight is the weight of each class (index 0 = negative,
+	// 1 = positive). Zero values default to 1.
+	ClassWeight [2]float64
+	// Smoothing is the Laplace pseudo-count added to each class when
+	// computing leaf probabilities: prob = (pos + s) / (n + 2s). It
+	// grades scores by leaf size (a pure 3-sample leaf scores lower than
+	// a pure 300-sample leaf), which matters when ensemble scores feed a
+	// quantile-based operating point. 0 disables smoothing.
+	Smoothing float64
+	// MTry is the number of features sampled per split; 0 means all
+	// features are considered (plain CART).
+	MTry int
+	// Rand supplies randomness for MTry subsampling; required iff
+	// MTry > 0.
+	Rand *rng.Source
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeafSize < 1 {
+		c.MinLeafSize = 1
+	}
+	if c.ClassWeight[0] == 0 {
+		c.ClassWeight[0] = 1
+	}
+	if c.ClassWeight[1] == 0 {
+		c.ClassWeight[1] = 1
+	}
+	return c
+}
+
+// node is one tree node in the flat node array.
+type node struct {
+	// feature >= 0 marks an internal node with test x[feature] <= thresh
+	// going left; feature < 0 marks a leaf.
+	feature int32
+	thresh  float64
+	left    int32
+	right   int32
+	// prob is the weighted positive-class probability of training
+	// samples that reached this node.
+	prob float64
+	// n is the unweighted training sample count at this node.
+	n int
+	// gain is the weighted impurity decrease of this node's split
+	// (internal nodes only), used for feature importance.
+	gain float64
+}
+
+// Tree is a grown CART tree.
+type Tree struct {
+	nodes    []node
+	nFeature int
+}
+
+// Grow fits a tree on X (rows are samples) and binary labels y (0 or 1).
+// It panics on empty or inconsistent input, which is always a programming
+// error in this pipeline.
+func Grow(X [][]float64, y []int, cfg Config) *Tree {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("dtree: bad training set (%d rows, %d labels)", len(X), len(y)))
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	return GrowIndexed(X, y, idx, cfg)
+}
+
+// GrowIndexed fits a tree on the rows of X selected by idx (with
+// repetitions allowed — the representation bootstrap sampling uses).
+func GrowIndexed(X [][]float64, y []int, idx []int, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	if len(idx) == 0 {
+		panic("dtree: empty index set")
+	}
+	if cfg.MTry > 0 && cfg.Rand == nil {
+		panic("dtree: MTry > 0 requires Config.Rand")
+	}
+	t := &Tree{nFeature: len(X[idx[0]])}
+
+	// Best-first growth: keep a candidate split per expandable leaf and
+	// repeatedly apply the one with the largest gain.
+	type candidate struct {
+		nodeID int32
+		idx    []int
+		depth  int
+		split  splitResult
+	}
+	var cands []candidate
+
+	root := t.addLeaf(X, y, idx, cfg)
+	if s, ok := t.bestSplit(X, y, idx, cfg); ok {
+		cands = append(cands, candidate{nodeID: root, idx: idx, depth: 0, split: s})
+	}
+	splits := 0
+	for len(cands) > 0 {
+		if cfg.MaxSplits > 0 && splits >= cfg.MaxSplits {
+			break
+		}
+		// Pick the candidate with the highest gain.
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].split.gain > cands[best].split.gain {
+				best = i
+			}
+		}
+		c := cands[best]
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+
+		leftIdx, rightIdx := partition(X, c.idx, c.split.feature, c.split.thresh)
+		leftID := t.addLeaf(X, y, leftIdx, cfg)
+		rightID := t.addLeaf(X, y, rightIdx, cfg)
+		n := &t.nodes[c.nodeID]
+		n.feature = int32(c.split.feature)
+		n.thresh = c.split.thresh
+		n.left = leftID
+		n.right = rightID
+		n.gain = c.split.gain
+		splits++
+
+		depth := c.depth + 1
+		if cfg.MaxDepth == 0 || depth < cfg.MaxDepth {
+			if s, ok := t.bestSplit(X, y, leftIdx, cfg); ok {
+				cands = append(cands, candidate{nodeID: leftID, idx: leftIdx, depth: depth, split: s})
+			}
+			if s, ok := t.bestSplit(X, y, rightIdx, cfg); ok {
+				cands = append(cands, candidate{nodeID: rightID, idx: rightIdx, depth: depth, split: s})
+			}
+		}
+	}
+	return t
+}
+
+// addLeaf appends a leaf summarizing the labels at idx and returns its id.
+func (t *Tree) addLeaf(X [][]float64, y []int, idx []int, cfg Config) int32 {
+	var wPos, wAll float64
+	for _, i := range idx {
+		w := cfg.ClassWeight[y[i]]
+		wAll += w
+		if y[i] == 1 {
+			wPos += w
+		}
+	}
+	s := cfg.Smoothing
+	prob := 0.0
+	if wAll+2*s > 0 {
+		prob = (wPos + s) / (wAll + 2*s)
+	} else {
+		prob = 0.5
+	}
+	t.nodes = append(t.nodes, node{feature: -1, prob: prob, n: len(idx)})
+	return int32(len(t.nodes) - 1)
+}
+
+type splitResult struct {
+	feature int
+	thresh  float64
+	gain    float64
+}
+
+// giniBinary returns p0*(1-p0) + p1*(1-p1) = 2*p1*(1-p1), Eq. 1.
+func giniBinary(wPos, wAll float64) float64 {
+	if wAll <= 0 {
+		return 0
+	}
+	p := wPos / wAll
+	return 2 * p * (1 - p)
+}
+
+// bestSplit finds the highest-gain (feature, threshold) split of the
+// samples at idx, honoring MinLeafSize, MinGain and MTry.
+func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, cfg Config) (splitResult, bool) {
+	if len(idx) < 2*cfg.MinLeafSize {
+		return splitResult{}, false
+	}
+	var wPos, wAll float64
+	for _, i := range idx {
+		w := cfg.ClassWeight[y[i]]
+		wAll += w
+		if y[i] == 1 {
+			wPos += w
+		}
+	}
+	if wPos == 0 || wPos == wAll {
+		return splitResult{}, false // already pure
+	}
+	parentImp := giniBinary(wPos, wAll)
+
+	features := t.featureSet(cfg)
+	type rec struct {
+		v float64
+		w float64 // class weight of the sample
+		y int
+	}
+	recs := make([]rec, len(idx))
+	best := splitResult{gain: cfg.MinGain}
+	found := false
+	for _, f := range features {
+		for j, i := range idx {
+			recs[j] = rec{v: X[i][f], w: cfg.ClassWeight[y[i]], y: y[i]}
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a].v < recs[b].v })
+		var lPos, lAll float64
+		nLeft := 0
+		for j := 0; j < len(recs)-1; j++ {
+			lAll += recs[j].w
+			if recs[j].y == 1 {
+				lPos += recs[j].w
+			}
+			nLeft++
+			if recs[j].v == recs[j+1].v {
+				continue // can't split between equal values
+			}
+			if nLeft < cfg.MinLeafSize || len(recs)-nLeft < cfg.MinLeafSize {
+				continue
+			}
+			rPos, rAll := wPos-lPos, wAll-lAll
+			gain := parentImp -
+				lAll/wAll*giniBinary(lPos, lAll) -
+				rAll/wAll*giniBinary(rPos, rAll)
+			if gain > best.gain || (gain == best.gain && !found) {
+				if gain < cfg.MinGain {
+					continue
+				}
+				best = splitResult{
+					feature: f,
+					thresh:  recs[j].v + (recs[j+1].v-recs[j].v)/2,
+					gain:    gain,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// featureSet returns the feature indexes considered for one split.
+func (t *Tree) featureSet(cfg Config) []int {
+	if cfg.MTry <= 0 || cfg.MTry >= t.nFeature {
+		all := make([]int, t.nFeature)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return cfg.Rand.Sample(t.nFeature, cfg.MTry)
+}
+
+// partition splits idx into rows with x[feature] <= thresh and the rest.
+func partition(X [][]float64, idx []int, feature int, thresh float64) (left, right []int) {
+	for _, i := range idx {
+		if X[i][feature] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// PredictProba returns the positive-class probability for x.
+func (t *Tree) PredictProba(x []float64) float64 {
+	id := int32(0)
+	for {
+		n := &t.nodes[id]
+		if n.feature < 0 {
+			return n.prob
+		}
+		if x[n.feature] <= n.thresh {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// Predict returns the positive decision at the given probability
+// threshold.
+func (t *Tree) Predict(x []float64, threshold float64) bool {
+	return t.PredictProba(x) >= threshold
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the tree depth (a root-only tree has depth 0).
+func (t *Tree) Depth() int {
+	var walk func(id int32) int
+	walk = func(id int32) int {
+		n := &t.nodes[id]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// NumFeatures returns the input dimensionality the tree was grown for.
+func (t *Tree) NumFeatures() int { return t.nFeature }
+
+// AccumulateImportance adds each split's impurity decrease, weighted by
+// the fraction of samples reaching the split, into imp (mean decrease in
+// impurity). len(imp) must be NumFeatures().
+func (t *Tree) AccumulateImportance(imp []float64) {
+	if len(imp) != t.nFeature {
+		panic("dtree: importance slice has wrong length")
+	}
+	if len(t.nodes) == 0 {
+		return
+	}
+	total := float64(t.nodes[0].n)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.feature >= 0 {
+			imp[n.feature] += n.gain * float64(n.n) / total
+		}
+	}
+}

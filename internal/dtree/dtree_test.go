@@ -1,0 +1,339 @@
+package dtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orfdisk/internal/rng"
+)
+
+// xorData builds the classic 2D XOR problem, unlearnable by a single
+// split but perfectly separable by a depth-2 tree.
+func xorData() ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		for _, p := range [][3]float64{
+			{0.1, 0.1, 0}, {0.9, 0.9, 0}, {0.1, 0.9, 1}, {0.9, 0.1, 1},
+		} {
+			jitter := float64(i) * 1e-4
+			X = append(X, []float64{p[0] + jitter, p[1] - jitter})
+			y = append(y, int(p[2]))
+		}
+	}
+	return X, y
+}
+
+func TestGrowSeparableData(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {10}, {11}, {12}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr := Grow(X, y, Config{})
+	for i := range X {
+		if got := tr.Predict(X[i], 0.5); got != (y[i] == 1) {
+			t.Fatalf("sample %d predicted %v", i, got)
+		}
+	}
+	if tr.Depth() != 1 {
+		t.Fatalf("separable data needs depth 1, got %d", tr.Depth())
+	}
+}
+
+func TestGrowXOR(t *testing.T) {
+	X, y := xorData()
+	tr := Grow(X, y, Config{})
+	errs := 0
+	for i := range X {
+		if tr.Predict(X[i], 0.5) != (y[i] == 1) {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Fatalf("XOR training error %d/%d", errs, len(X))
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("XOR requires depth >= 2, got %d", tr.Depth())
+	}
+}
+
+func TestPureNodeDoesNotSplit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr := Grow(X, y, Config{})
+	if tr.NumNodes() != 1 {
+		t.Fatalf("pure data grew %d nodes", tr.NumNodes())
+	}
+	if p := tr.PredictProba([]float64{5}); p != 1 {
+		t.Fatalf("pure-positive leaf prob %v", p)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	X, y := xorData()
+	tr := Grow(X, y, Config{MaxDepth: 1})
+	if d := tr.Depth(); d > 1 {
+		t.Fatalf("depth %d exceeds MaxDepth 1", d)
+	}
+}
+
+func TestMaxSplits(t *testing.T) {
+	r := rng.New(5)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		X = append(X, x)
+		if x[0]+x[1]*0.5+r.NormFloat64()*0.1 > 0.8 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr := Grow(X, y, Config{MaxSplits: 5})
+	internal := tr.NumNodes() - tr.NumLeaves()
+	if internal > 5 {
+		t.Fatalf("%d internal nodes exceed MaxSplits 5", internal)
+	}
+}
+
+func TestMinLeafSize(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	tr := Grow(X, y, Config{MinLeafSize: 3})
+	if tr.NumNodes() != 1 {
+		t.Fatalf("MinLeafSize 3 on 4 samples must prevent splitting, got %d nodes", tr.NumNodes())
+	}
+}
+
+func TestMinGainBlocksWeakSplits(t *testing.T) {
+	// Nearly-random labels: any split has tiny gain.
+	r := rng.New(6)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{r.Float64()})
+		y = append(y, r.Intn(2))
+	}
+	tr := Grow(X, y, Config{MinGain: 0.2})
+	if tr.NumNodes() != 1 {
+		t.Fatalf("MinGain 0.2 should block noise splits, got %d nodes", tr.NumNodes())
+	}
+}
+
+func TestClassWeightsShiftProbability(t *testing.T) {
+	// One positive among many negatives in one leaf: upweighting the
+	// positive class must raise the leaf probability.
+	X := [][]float64{{0}, {0}, {0}, {0}, {0}}
+	y := []int{0, 0, 0, 0, 1}
+	plain := Grow(X, y, Config{})
+	weighted := Grow(X, y, Config{ClassWeight: [2]float64{1, 10}})
+	p0 := plain.PredictProba([]float64{0})
+	p1 := weighted.PredictProba([]float64{0})
+	if !(p1 > p0) {
+		t.Fatalf("weighted prob %v not above plain %v", p1, p0)
+	}
+	if math.Abs(p0-0.2) > 1e-9 {
+		t.Fatalf("plain prob %v, want 0.2", p0)
+	}
+	if math.Abs(p1-10.0/14.0) > 1e-9 {
+		t.Fatalf("weighted prob %v, want 10/14", p1)
+	}
+}
+
+func TestGrowIndexedBootstrap(t *testing.T) {
+	X := [][]float64{{0}, {10}}
+	y := []int{0, 1}
+	// Bootstrap with repetitions of both rows.
+	tr := GrowIndexed(X, y, []int{0, 0, 0, 1, 1, 1, 1}, Config{})
+	if !tr.Predict([]float64{10}, 0.5) || tr.Predict([]float64{0}, 0.5) {
+		t.Fatal("bootstrap-grown tree misclassifies training points")
+	}
+}
+
+func TestMTryRequiresRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MTry without Rand did not panic")
+		}
+	}()
+	Grow([][]float64{{0}, {1}}, []int{0, 1}, Config{MTry: 1})
+}
+
+func TestMTrySubsampling(t *testing.T) {
+	// With MTry=1 on 2 features the tree can still learn the single
+	// informative feature given enough depth.
+	r := rng.New(7)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		X = append(X, x)
+		if x[1] > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr := Grow(X, y, Config{MTry: 1, Rand: rng.New(8)})
+	errs := 0
+	for i := range X {
+		if tr.Predict(X[i], 0.5) != (y[i] == 1) {
+			errs++
+		}
+	}
+	if float64(errs)/float64(len(X)) > 0.05 {
+		t.Fatalf("MTry tree training error %d/%d", errs, len(X))
+	}
+}
+
+func TestEmptyInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty input did not panic")
+		}
+	}()
+	Grow(nil, nil, Config{})
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Feature 1 is informative, feature 0 is noise.
+	r := rng.New(9)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		X = append(X, x)
+		if x[1] > 0.6 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr := Grow(X, y, Config{MinLeafSize: 5})
+	imp := make([]float64, 2)
+	tr.AccumulateImportance(imp)
+	if imp[1] <= imp[0] {
+		t.Fatalf("importance of informative feature %v not above noise %v", imp[1], imp[0])
+	}
+}
+
+func TestImportanceLengthPanics(t *testing.T) {
+	tr := Grow([][]float64{{0}, {1}}, []int{0, 1}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length importance slice did not panic")
+		}
+	}()
+	tr.AccumulateImportance(make([]float64, 5))
+}
+
+func TestGiniBinary(t *testing.T) {
+	cases := []struct{ pos, all, want float64 }{
+		{0, 10, 0},
+		{10, 10, 0},
+		{5, 10, 0.5},
+		{2, 10, 2 * 0.2 * 0.8},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := giniBinary(c.pos, c.all); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("giniBinary(%v,%v) = %v, want %v", c.pos, c.all, got, c.want)
+		}
+	}
+}
+
+// Property: a grown tree routes every training sample to a leaf whose
+// probability is consistent with majority vote when data is separable by
+// the grown structure (weak check: probability in [0,1]).
+func TestQuickProbaInUnitInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(50)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+			y[i] = r.Intn(2)
+		}
+		tr := Grow(X, y, Config{MinLeafSize: 2})
+		for i := 0; i < 20; i++ {
+			p := tr.PredictProba([]float64{r.Float64(), r.Float64(), r.Float64()})
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deterministic growth — same data and config produce identical
+// predictions.
+func TestQuickDeterministicGrowth(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 30 + r.Intn(30)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{r.Float64(), r.Float64()}
+			y[i] = r.Intn(2)
+		}
+		t1 := Grow(X, y, Config{})
+		t2 := Grow(X, y, Config{})
+		for i := 0; i < 10; i++ {
+			x := []float64{r.Float64(), r.Float64()}
+			if t1.PredictProba(x) != t2.PredictProba(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGrow1000x19(b *testing.B) {
+	r := rng.New(1)
+	const n, d = 1000, 19
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = r.Float64()
+		}
+		if X[i][3] > 0.7 || X[i][7] < 0.1 {
+			y[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Grow(X, y, Config{MinLeafSize: 2})
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	r := rng.New(2)
+	const n, d = 2000, 19
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = r.Float64()
+		}
+		if X[i][0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	tr := Grow(X, y, Config{MinLeafSize: 2})
+	x := X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PredictProba(x)
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"sort"
+
+	"orfdisk/internal/smart"
+	"orfdisk/internal/stats"
+)
+
+// DriftRow quantifies how far one feature's healthy-population
+// distribution has moved between a reference month and a later month.
+type DriftRow struct {
+	Feature   smart.Feature
+	KS        stats.KSResult // reference month vs probe month
+	RefMedian float64
+	NewMedian float64
+}
+
+// DriftReport reproduces the paper's motivating preliminary experiment
+// (section 1): "the sequentially collected data will gradually change
+// the underlying distribution of cumulative SMART attributes". It
+// compares, per feature, the healthy-disk sample distribution of a
+// reference month against a probe month using the two-sample KS test,
+// and returns the features ordered by KS distance (most drifted first).
+//
+// Only good training disks contribute, so the drift measured is the
+// negative-class movement that invalidates a frozen model's thresholds —
+// not the (expected) difference between healthy and failing samples.
+func DriftReport(c *Corpus, refMonth, probeMonth int) []DriftRow {
+	refLo, refHi := refMonth*smart.DaysPerMonth, (refMonth+1)*smart.DaysPerMonth
+	prbLo, prbHi := probeMonth*smart.DaysPerMonth, (probeMonth+1)*smart.DaysPerMonth
+
+	nf := len(c.Features)
+	ref := make([][]float64, nf)
+	prb := make([][]float64, nf)
+	for i := range c.TrainArrivals {
+		a := &c.TrainArrivals[i]
+		if c.TrainDisks[a.DiskIdx].Failed {
+			continue
+		}
+		day := int(a.Day)
+		switch {
+		case day >= refLo && day < refHi:
+			for f, v := range a.X {
+				ref[f] = append(ref[f], v)
+			}
+		case day >= prbLo && day < prbHi:
+			for f, v := range a.X {
+				prb[f] = append(prb[f], v)
+			}
+		}
+	}
+
+	rows := make([]DriftRow, 0, nf)
+	for f := 0; f < nf; f++ {
+		rows = append(rows, DriftRow{
+			Feature:   smart.Catalog()[c.Features[f]],
+			KS:        stats.KolmogorovSmirnov(ref[f], prb[f]),
+			RefMedian: median(ref[f]),
+			NewMedian: median(prb[f]),
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].KS.D > rows[b].KS.D })
+	return rows
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return stats.Quantile(s, 0.5)
+}

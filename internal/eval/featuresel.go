@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/forest"
+	"orfdisk/internal/smart"
+	"orfdisk/internal/stats"
+)
+
+// FeatureSelection is the outcome of the section 4.2 pipeline over the 48
+// candidate features: a rank-sum screening pass followed by a
+// redundancy-elimination pass driven by random-forest importance, plus
+// the per-attribute contribution ranking of Table 2.
+type FeatureSelection struct {
+	// Kept are catalog indexes surviving the rank-sum screen.
+	Kept []int
+	// Selected are catalog indexes after redundancy elimination, ordered
+	// by decreasing importance.
+	Selected []int
+	// Importance maps each selected catalog index to its normalized RF
+	// importance.
+	Importance map[int]float64
+	// AttrRank lists attributes by decreasing total contribution of
+	// their selected features (Table 2's Rank column).
+	AttrRank []AttrContribution
+}
+
+// AttrContribution is one attribute's aggregate importance.
+type AttrContribution struct {
+	Attr       smart.Attr
+	Importance float64
+	Rank       int
+}
+
+// FeatureSelectOptions tunes the pipeline.
+type FeatureSelectOptions struct {
+	// Alpha is the rank-sum significance level (default 1e-3; the
+	// screen sees thousands of samples, so discriminative features are
+	// far below any conventional level).
+	Alpha float64
+	// MaxNegatives caps the negative sample count fed to the rank-sum
+	// tests (the full negative class is enormous; a uniform subsample
+	// preserves the test's power). Default 20000.
+	MaxNegatives int
+	// CorrThreshold is the |Pearson| correlation above which the
+	// lower-importance feature of a pair is dropped as redundant
+	// (default 0.95).
+	CorrThreshold float64
+	// Lambda is the NegSampleRatio of the importance forest (default 3).
+	Lambda float64
+	// Trees is the importance forest size (default 30).
+	Trees int
+	Seed  uint64
+}
+
+func (o FeatureSelectOptions) withDefaults() FeatureSelectOptions {
+	if o.Alpha <= 0 {
+		o.Alpha = 1e-3
+	}
+	if o.MaxNegatives <= 0 {
+		o.MaxNegatives = 20000
+	}
+	if o.CorrThreshold <= 0 {
+		o.CorrThreshold = 0.95
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 3
+	}
+	if o.Trees <= 0 {
+		o.Trees = 30
+	}
+	return o
+}
+
+// SelectFeatures runs the Table 2 pipeline on a fleet profile. It builds
+// its own corpus over all 48 candidate features.
+func SelectFeatures(prof dataset.Profile, seed uint64, opt FeatureSelectOptions) (*FeatureSelection, error) {
+	opt = opt.withDefaults()
+	all := make([]int, smart.NumFeatures())
+	for i := range all {
+		all[i] = i
+	}
+	c, err := BuildCorpus(Options{Profile: prof, Seed: seed, Features: all})
+	if err != nil {
+		return nil, err
+	}
+	X, y := c.OfflineTrainingSet(prof.Days())
+
+	// Split class columns, capping negatives.
+	var posRows, negRows [][]float64
+	for i, x := range X {
+		if y[i] == 1 {
+			posRows = append(posRows, x)
+		} else if len(negRows) < opt.MaxNegatives {
+			negRows = append(negRows, x)
+		}
+	}
+
+	fs := &FeatureSelection{Importance: make(map[int]float64)}
+
+	// Pass 1: rank-sum screen per feature (paper: 20 of 48 dropped).
+	posCol := make([]float64, len(posRows))
+	negCol := make([]float64, len(negRows))
+	for f := 0; f < smart.NumFeatures(); f++ {
+		for i, r := range posRows {
+			posCol[i] = r[f]
+		}
+		for i, r := range negRows {
+			negCol[i] = r[f]
+		}
+		if stats.RankSum(posCol, negCol).Discriminative(opt.Alpha) {
+			fs.Kept = append(fs.Kept, f)
+		}
+	}
+	if len(fs.Kept) == 0 {
+		return fs, nil
+	}
+
+	// Pass 2: importance-guided redundancy elimination on the
+	// λ-downsampled training set restricted to kept features.
+	idx := forest.Downsample(y, opt.Lambda, seed^0xfeed)
+	bX := make([][]float64, len(idx))
+	bY := make([]int, len(idx))
+	for k, i := range idx {
+		row := make([]float64, len(fs.Kept))
+		for j, f := range fs.Kept {
+			row[j] = X[i][f]
+		}
+		bX[k] = row
+		bY[k] = y[i]
+	}
+	fr := forest.Train(bX, bY, forest.Config{Trees: opt.Trees, Seed: seed ^ 0xf0})
+	imp := fr.FeatureImportance()
+
+	order := make([]int, len(fs.Kept))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return imp[order[a]] > imp[order[b]] })
+
+	var selectedLocal []int
+	for _, j := range order {
+		redundant := false
+		for _, s := range selectedLocal {
+			if math.Abs(pearson(bX, j, s)) > opt.CorrThreshold {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			selectedLocal = append(selectedLocal, j)
+		}
+	}
+	for _, j := range selectedLocal {
+		f := fs.Kept[j]
+		fs.Selected = append(fs.Selected, f)
+		fs.Importance[f] = imp[j]
+	}
+
+	// Attribute contribution ranking (Table 2's Rank column).
+	byAttr := map[int]float64{}
+	for f, v := range fs.Importance {
+		byAttr[smart.Catalog()[f].Attr.ID] += v
+	}
+	for id, v := range byAttr {
+		for _, a := range smart.Attrs() {
+			if a.ID == id {
+				fs.AttrRank = append(fs.AttrRank, AttrContribution{Attr: a, Importance: v})
+			}
+		}
+	}
+	sort.Slice(fs.AttrRank, func(a, b int) bool {
+		return fs.AttrRank[a].Importance > fs.AttrRank[b].Importance
+	})
+	for i := range fs.AttrRank {
+		fs.AttrRank[i].Rank = i + 1
+	}
+	return fs, nil
+}
+
+// pearson computes the correlation of columns a and b of rows.
+func pearson(rows [][]float64, a, b int) float64 {
+	n := float64(len(rows))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for _, r := range rows {
+		ma += r[a]
+		mb += r[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, r := range rows {
+		da, db := r[a]-ma, r[b]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"orfdisk/internal/svm"
+)
+
+// GridSearchResult is the outcome of an SVM hyper-parameter search.
+type GridSearchResult struct {
+	Config svm.Config
+	FDR    float64 // disk-level FDR at the FAR budget on validation disks
+	FAR    float64
+}
+
+// GridSearchSVM reproduces the paper's SVM tuning protocol: "a grid
+// search to find the parameter combination that produces the highest FDR
+// with a FAR less than 1%". Each (C, gamma) pair is trained on the
+// λ-downsampled training set and evaluated on the validation disks at
+// the strict FAR budget; ties break toward the smaller C (simpler
+// model). Returns an error if no combination trains.
+func GridSearchSVM(X [][]float64, y []int, validation []TestDisk,
+	cs, gammas []float64, farBudget, lambda float64, maxRows int, seed uint64) (GridSearchResult, error) {
+
+	if len(cs) == 0 || len(gammas) == 0 {
+		return GridSearchResult{}, fmt.Errorf("eval: empty SVM grid")
+	}
+	best := GridSearchResult{FDR: math.Inf(-1)}
+	found := false
+	for _, c := range cs {
+		for _, g := range gammas {
+			learner := SVMLearner{
+				Lambda:  lambda,
+				MaxRows: maxRows,
+				Config:  svm.Config{C: c, Kernel: svm.RBF{Gamma: g}},
+			}
+			scorer, err := learner.Fit(X, y, seed)
+			if err != nil {
+				continue
+			}
+			ds := ScoreTestDisks(validation, scorer)
+			th := ds.ThresholdForFAR(farBudget)
+			fdr, far := ds.Rates(th)
+			if math.IsNaN(fdr) {
+				continue
+			}
+			if fdr > best.FDR {
+				best = GridSearchResult{
+					Config: svm.Config{C: c, Kernel: svm.RBF{Gamma: g}},
+					FDR:    fdr,
+					FAR:    far,
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return best, fmt.Errorf("eval: no SVM configuration trained on the grid")
+	}
+	return best, nil
+}

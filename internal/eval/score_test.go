@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/rng"
+)
+
+func TestThresholdNearFARPrefersClosest(t *testing.T) {
+	// 50 good disks with distinct scores: candidate FARs are multiples
+	// of 2%. Target 1% -> closest admissible is 2% (within the 2x cap)
+	// or 0%; 0 and 2 are equidistant, ties break toward the lower FAR.
+	ds := DiskScores{}
+	for i := 0; i < 50; i++ {
+		ds.Good = append(ds.Good, float64(i)/50)
+	}
+	ds.Failed = []float64{0.999}
+	th := ds.ThresholdNearFAR(1.0)
+	_, far := ds.Rates(th)
+	if far != 0 {
+		t.Fatalf("FAR = %v, want 0 (tie toward lower)", far)
+	}
+	// Target 3%: candidates 2% and 4% equidistant -> 2%.
+	th = ds.ThresholdNearFAR(3.0)
+	_, far = ds.Rates(th)
+	if far != 2 {
+		t.Fatalf("FAR = %v, want 2", far)
+	}
+}
+
+func TestThresholdNearFARCap(t *testing.T) {
+	// Coarse scores: all good disks tie at 0.9, so FAR is either 0% or
+	// 100%. 100% exceeds 2x any reasonable target, so the strict
+	// fallback (above the max good score) must be chosen.
+	ds := DiskScores{
+		Good:   []float64{0.9, 0.9, 0.9, 0.9},
+		Failed: []float64{0.95, 0.5},
+	}
+	th := ds.ThresholdNearFAR(1.0)
+	fdr, far := ds.Rates(th)
+	if far != 0 {
+		t.Fatalf("FAR = %v, want 0", far)
+	}
+	if fdr != 50 {
+		t.Fatalf("FDR = %v, want 50 (only the 0.95 disk)", fdr)
+	}
+}
+
+func TestThresholdNearFAREmptyGood(t *testing.T) {
+	ds := DiskScores{Failed: []float64{1}}
+	if th := ds.ThresholdNearFAR(1); th != 0.5 {
+		t.Fatalf("threshold %v, want 0.5", th)
+	}
+}
+
+func TestQuickNearFARNeverExceedsTwiceTarget(t *testing.T) {
+	f := func(seed uint64, targetRaw uint8) bool {
+		target := 0.5 + float64(targetRaw%50)/10 // 0.5 .. 5.4 percent
+		r := rng.New(seed)
+		n := 20 + r.Intn(200)
+		ds := DiskScores{}
+		for i := 0; i < n; i++ {
+			ds.Good = append(ds.Good, math.Floor(r.Float64()*20)/20) // coarse
+		}
+		for i := 0; i < 10; i++ {
+			ds.Failed = append(ds.Failed, r.Float64())
+		}
+		th := ds.ThresholdNearFAR(target)
+		_, far := ds.Rates(th)
+		return far <= 2*target+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDiskViews(t *testing.T) {
+	c := buildTestCorpus(t, 21)
+	views := c.AllDiskViews()
+	if len(views) != len(c.TrainDisks)+len(c.TestDisks) {
+		t.Fatalf("%d views, want %d", len(views), len(c.TrainDisks)+len(c.TestDisks))
+	}
+	// Cached: second call returns the same slice.
+	if &views[0] != &c.AllDiskViews()[0] {
+		t.Fatal("AllDiskViews not cached")
+	}
+	// Train views must reconstruct per-disk trajectories: days strictly
+	// increasing, one vector per day, count matching the arrivals.
+	perDisk := map[int32]int{}
+	for i := range c.TrainArrivals {
+		perDisk[c.TrainArrivals[i].DiskIdx]++
+	}
+	for i := range c.TrainDisks {
+		v := &views[i]
+		if v.Meta.Serial != c.TrainDisks[i].Serial {
+			t.Fatalf("view %d serial mismatch", i)
+		}
+		if len(v.Days) != perDisk[int32(i)] || len(v.X) != len(v.Days) {
+			t.Fatalf("view %d has %d days, want %d", i, len(v.Days), perDisk[int32(i)])
+		}
+		for j := 1; j < len(v.Days); j++ {
+			if v.Days[j] <= v.Days[j-1] {
+				t.Fatalf("view %d days not increasing", i)
+			}
+		}
+	}
+}
+
+func TestMonthDiskScoresSkipsHorizonStraddlers(t *testing.T) {
+	// A disk failing 3 days after month end must be judged neither as a
+	// failure of that month nor as a good disk in it.
+	disks := []TestDisk{
+		{
+			Meta: metaFailed("straddler", 63), // fails day 63; month 1 ends day 60
+			Days: daysRange(30, 63),
+			X:    vecsFor(34),
+		},
+		{
+			Meta: metaGood("good"),
+			Days: daysRange(30, 60),
+			X:    vecsFor(31),
+		},
+	}
+	ds := monthDiskScores(disks, func(x []float64) float64 { return 1 }, 1)
+	if len(ds.Failed) != 0 {
+		t.Fatalf("straddler counted as month-1 failure")
+	}
+	if len(ds.Good) != 1 {
+		t.Fatalf("%d good scores, want 1 (straddler excluded)", len(ds.Good))
+	}
+}
+
+func metaFailed(serial string, failDay int) dataset.DiskMeta {
+	return dataset.DiskMeta{Serial: serial, Failed: true, FailDay: failDay, OnsetDay: -1}
+}
+
+func metaGood(serial string) dataset.DiskMeta {
+	return dataset.DiskMeta{Serial: serial, FailDay: -1, OnsetDay: -1}
+}
+
+func daysRange(lo, hi int) []int {
+	var out []int
+	for d := lo; d <= hi; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+func vecsFor(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{0}
+	}
+	return out
+}
+
+func TestDiskScoresAUC(t *testing.T) {
+	perfect := DiskScores{Failed: []float64{0.9, 0.8}, Good: []float64{0.1, 0.2}}
+	if auc := perfect.AUC(); auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+	uninformative := DiskScores{Failed: []float64{0.5}, Good: []float64{0.5}}
+	if auc := uninformative.AUC(); auc != 0.5 {
+		t.Fatalf("AUC = %v, want 0.5", auc)
+	}
+}

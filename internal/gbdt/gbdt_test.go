@@ -1,0 +1,146 @@
+package gbdt
+
+import (
+	"math"
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+func blobs(seed uint64, n int, sep float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{sep + r.NormFloat64(), sep + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i], 0.5) == (y[i] == 1) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+func TestSeparableBlobs(t *testing.T) {
+	X, y := blobs(1, 200, 3)
+	m := Train(X, y, Config{Rounds: 50})
+	if acc := accuracy(m, X, y); acc < 0.99 {
+		t.Fatalf("accuracy %v on separable blobs", acc)
+	}
+	if m.NumTrees() != 50 {
+		t.Fatalf("trees = %d", m.NumTrees())
+	}
+}
+
+func TestXOR(t *testing.T) {
+	// XOR needs depth >= 2 interactions; boosting with depth-3 trees
+	// must solve it.
+	r := rng.New(2)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		a, b := r.Float64(), r.Float64()
+		X = append(X, []float64{a, b})
+		if (a > 0.5) != (b > 0.5) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m := Train(X, y, Config{Rounds: 80, MaxDepth: 3})
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("XOR accuracy %v", acc)
+	}
+}
+
+func TestProbaCalibratedOnPrior(t *testing.T) {
+	// With pure-noise features, predictions must approach the base rate.
+	r := rng.New(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 1000; i++ {
+		X = append(X, []float64{r.Float64()})
+		if i%10 == 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m := Train(X, y, Config{Rounds: 10, MaxDepth: 2, MinLeafSize: 50})
+	p := m.PredictProba([]float64{0.5})
+	if math.Abs(p-0.1) > 0.08 {
+		t.Fatalf("noise proba %v, want ~0.1 (base rate)", p)
+	}
+}
+
+func TestMoreRoundsFitBetter(t *testing.T) {
+	X, y := blobs(4, 300, 1.0) // overlapping
+	few := Train(X, y, Config{Rounds: 3})
+	many := Train(X, y, Config{Rounds: 100})
+	if accuracy(many, X, y) <= accuracy(few, X, y)-0.01 {
+		t.Fatalf("more rounds did not improve training fit: %v vs %v",
+			accuracy(many, X, y), accuracy(few, X, y))
+	}
+}
+
+func TestMarginProbaConsistent(t *testing.T) {
+	X, y := blobs(5, 100, 2)
+	m := Train(X, y, Config{Rounds: 20})
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		x := []float64{r.NormFloat64() * 2, r.NormFloat64() * 2}
+		p := m.PredictProba(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("proba %v out of range", p)
+		}
+		if (m.Margin(x) >= 0) != (p >= 0.5) {
+			t.Fatal("margin sign disagrees with proba")
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { Train(nil, nil, Config{}) },
+		"one-class": func() { Train([][]float64{{0}, {1}}, []int{1, 1}, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	X, y := blobs(7, 100, 1.5)
+	m1 := Train(X, y, Config{Rounds: 30})
+	m2 := Train(X, y, Config{Rounds: 30})
+	r := rng.New(8)
+	for i := 0; i < 50; i++ {
+		x := []float64{r.NormFloat64(), r.NormFloat64()}
+		if m1.Margin(x) != m2.Margin(x) {
+			t.Fatal("GBDT training is not deterministic")
+		}
+	}
+}
+
+func BenchmarkTrainGBDT(b *testing.B) {
+	X, y := blobs(9, 400, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(X, y, Config{Rounds: 100})
+	}
+}

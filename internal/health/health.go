@@ -1,0 +1,193 @@
+// Package health extends the binary failure predictor to multi-level
+// health assessment — the direction of the paper's related work on
+// residual-life prediction (Xu et al. TC'16, Li et al. RESS'17/SRDS'16,
+// references [15]-[17]): instead of "will this disk fail within a week",
+// assess which residual-life band the disk is in.
+//
+// The assessor follows the Frank & Hall ordinal decomposition: for level
+// boundaries B1 > B2 > ... > Bm (days of remaining life), m online
+// random forests are trained, forest k answering "will the disk fail
+// within Bk days?". All forests learn from the same automatically
+// labeled stream, generalizing the paper's per-disk queue: a sample
+// stays buffered until either the disk fails (its remaining life — and
+// hence every forest's label — becomes known) or it survives past the
+// widest boundary (every label is negative).
+//
+// Inputs are feature vectors already scaled to [0,1] (see smart.Scaler),
+// matching the convention of internal/core.
+package health
+
+import (
+	"fmt"
+	"sort"
+
+	"orfdisk/internal/core"
+)
+
+// Level is a health degree: 0 = healthy (remaining life beyond the
+// widest boundary), rising values mean closer to failure. With
+// boundaries [30, 14, 7], level 3 means "will fail within 7 days".
+type Level int
+
+// Config configures an Assessor.
+type Config struct {
+	// Boundaries are residual-life thresholds in days, strictly
+	// descending, e.g. [30, 14, 7]. Level k (1-based) means remaining
+	// life <= Boundaries[k-1]. Required.
+	Boundaries []int
+	// ORF configures every per-boundary forest.
+	ORF core.Config
+}
+
+// Assessor performs online multi-level health assessment. Not safe for
+// concurrent use.
+type Assessor struct {
+	boundaries []int
+	forests    []*core.Forest
+	dim        int
+
+	// queues[disk] buffers (x, day) pairs younger than the widest
+	// boundary.
+	queues map[string][]pending
+	probs  []float64 // scratch
+}
+
+type pending struct {
+	x   []float64
+	day int
+}
+
+// NewAssessor creates an assessor for dim-dimensional scaled inputs.
+func NewAssessor(dim int, cfg Config) (*Assessor, error) {
+	if len(cfg.Boundaries) == 0 {
+		return nil, fmt.Errorf("health: no level boundaries")
+	}
+	if !sort.SliceIsSorted(cfg.Boundaries, func(i, j int) bool {
+		return cfg.Boundaries[i] > cfg.Boundaries[j]
+	}) {
+		return nil, fmt.Errorf("health: boundaries %v not strictly descending", cfg.Boundaries)
+	}
+	for i := 1; i < len(cfg.Boundaries); i++ {
+		if cfg.Boundaries[i] == cfg.Boundaries[i-1] {
+			return nil, fmt.Errorf("health: duplicate boundary %d", cfg.Boundaries[i])
+		}
+	}
+	if cfg.Boundaries[len(cfg.Boundaries)-1] <= 0 {
+		return nil, fmt.Errorf("health: boundaries must be positive, got %v", cfg.Boundaries)
+	}
+	a := &Assessor{
+		boundaries: append([]int(nil), cfg.Boundaries...),
+		dim:        dim,
+		queues:     make(map[string][]pending),
+		probs:      make([]float64, len(cfg.Boundaries)),
+	}
+	for k := range a.boundaries {
+		fcfg := cfg.ORF
+		fcfg.Seed = cfg.ORF.Seed + uint64(k)*0x9e37
+		a.forests = append(a.forests, core.New(dim, fcfg))
+	}
+	return a, nil
+}
+
+// Levels returns the number of levels (boundaries + 1).
+func (a *Assessor) Levels() int { return len(a.boundaries) + 1 }
+
+// MaxBoundary returns the widest residual-life boundary in days.
+func (a *Assessor) MaxBoundary() int { return a.boundaries[0] }
+
+// Observe buffers one scaled sample of an operating disk, releasing
+// outdated samples (older than the widest boundary) as all-negative
+// training updates.
+func (a *Assessor) Observe(disk string, x []float64, day int) {
+	if len(x) != a.dim {
+		panic(fmt.Sprintf("health: sample dimension %d, want %d", len(x), a.dim))
+	}
+	q := a.queues[disk]
+	q = append(q, pending{x: x, day: day})
+	// Release samples that are demonstrably older than the widest
+	// boundary: the disk survived past every level's horizon.
+	maxB := a.boundaries[0]
+	cut := 0
+	for cut < len(q) && day-q[cut].day >= maxB {
+		for _, f := range a.forests {
+			f.Update(q[cut].x, 0)
+		}
+		cut++
+	}
+	a.queues[disk] = q[cut:]
+}
+
+// Fail labels the disk's buffered samples by their true residual life
+// (failDay - sampleDay) and trains every forest accordingly.
+func (a *Assessor) Fail(disk string, failDay int) {
+	for _, p := range a.queues[disk] {
+		remaining := failDay - p.day
+		for k, b := range a.boundaries {
+			y := 0
+			if remaining <= b {
+				y = 1
+			}
+			a.forests[k].Update(p.x, y)
+		}
+	}
+	delete(a.queues, disk)
+}
+
+// Retire drops a disk without labeling its buffer.
+func (a *Assessor) Retire(disk string) { delete(a.queues, disk) }
+
+// Pending returns the number of buffered samples.
+func (a *Assessor) Pending() int {
+	n := 0
+	for _, q := range a.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Assess returns the predicted level and the cumulative probabilities
+// P(remaining <= Bk) per boundary. The probabilities are clamped to be
+// non-increasing across widening severity (ordinal consistency) before
+// the level is chosen as the deepest boundary with P >= 0.5.
+func (a *Assessor) Assess(x []float64) (Level, []float64) {
+	if len(x) != a.dim {
+		panic(fmt.Sprintf("health: sample dimension %d, want %d", len(x), a.dim))
+	}
+	for k, f := range a.forests {
+		p := f.PredictProba(x)
+		// P(remaining <= 7) cannot exceed P(remaining <= 30): clamp by
+		// the previous (wider) boundary's probability.
+		if k > 0 && p > a.probs[k-1] {
+			p = a.probs[k-1]
+		}
+		a.probs[k] = p
+	}
+	level := Level(0)
+	for k, p := range a.probs {
+		if p >= 0.5 {
+			level = Level(k + 1)
+		}
+	}
+	return level, append([]float64(nil), a.probs...)
+}
+
+// TrueLevel returns the level a residual life in days belongs to under
+// the assessor's boundaries (0 = beyond the widest boundary).
+func (a *Assessor) TrueLevel(remainingDays int) Level {
+	level := Level(0)
+	for k, b := range a.boundaries {
+		if remainingDays <= b {
+			level = Level(k + 1)
+		}
+	}
+	return level
+}
+
+// Stats aggregates the per-boundary forest statistics.
+func (a *Assessor) Stats() []core.Stats {
+	out := make([]core.Stats, len(a.forests))
+	for i, f := range a.forests {
+		out[i] = f.Stats()
+	}
+	return out
+}

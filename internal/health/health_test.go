@@ -1,0 +1,210 @@
+package health
+
+import (
+	"testing"
+
+	"orfdisk/internal/core"
+	"orfdisk/internal/rng"
+)
+
+func mkAssessor(t testing.TB, seed uint64) *Assessor {
+	t.Helper()
+	a, err := NewAssessor(2, Config{
+		Boundaries: []int{30, 14, 7},
+		ORF: core.Config{
+			Trees: 8, NumTests: 15, MinParentSize: 25, MinGain: 0.03,
+			LambdaPos: 1, LambdaNeg: 0.2, Seed: seed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// degradeX maps remaining life to a feature vector: feature 0 rises as
+// failure approaches; feature 1 is noise.
+func degradeX(remaining int, r *rng.Source) []float64 {
+	sev := 0.0
+	if remaining <= 45 {
+		sev = 1 - float64(remaining)/45
+	}
+	return []float64{clamp01(sev + r.NormFloat64()*0.04), r.Float64()}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestNewAssessorValidation(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{7, 14, 30}, // ascending
+		{30, 30, 7}, // duplicate
+		{30, 14, 0}, // non-positive
+	}
+	for _, b := range cases {
+		if _, err := NewAssessor(2, Config{Boundaries: b}); err == nil {
+			t.Errorf("boundaries %v accepted", b)
+		}
+	}
+	a, err := NewAssessor(2, Config{Boundaries: []int{30, 14, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Levels() != 4 || a.MaxBoundary() != 30 {
+		t.Fatalf("levels %d maxBoundary %d", a.Levels(), a.MaxBoundary())
+	}
+}
+
+func TestTrueLevel(t *testing.T) {
+	a := mkAssessor(t, 1)
+	cases := []struct {
+		remaining int
+		want      Level
+	}{
+		{100, 0}, {31, 0}, {30, 1}, {15, 1}, {14, 2}, {8, 2}, {7, 3}, {0, 3},
+	}
+	for _, c := range cases {
+		if got := a.TrueLevel(c.remaining); got != c.want {
+			t.Errorf("TrueLevel(%d) = %d, want %d", c.remaining, got, c.want)
+		}
+	}
+}
+
+func TestLearnsOrderedLevels(t *testing.T) {
+	a := mkAssessor(t, 2)
+	r := rng.New(3)
+	// Simulate 60 failing disks (life 120 days) and 120 healthy disks.
+	disk := 0
+	for rep := 0; rep < 60; rep++ {
+		serial := "bad"
+		life := 90 + r.Intn(60)
+		for d := 0; d < life; d++ {
+			a.Observe(serial, degradeX(life-d, r), disk*1000+d)
+		}
+		a.Fail(serial, disk*1000+life-1)
+		disk++
+		serial = "good"
+		for d := 0; d < 80; d++ {
+			a.Observe(serial, degradeX(1000, r), disk*1000+d)
+		}
+		a.Retire(serial)
+		disk++
+	}
+
+	// Cumulative probabilities must increase with severity of the input.
+	_, pHealthy := a.Assess(degradeX(1000, r))
+	_, pDying := a.Assess(degradeX(2, r))
+	if pDying[0] <= pHealthy[0] {
+		t.Fatalf("P(<=30d): dying %v not above healthy %v", pDying[0], pHealthy[0])
+	}
+	// Ordinal consistency of the output.
+	for k := 1; k < len(pDying); k++ {
+		if pDying[k] > pDying[k-1]+1e-12 {
+			t.Fatalf("cumulative probs not non-increasing: %v", pDying)
+		}
+	}
+	// Level ordering across the degradation curve: level(2d) >= level(20d)
+	// >= level(healthy).
+	l2, _ := a.Assess(degradeX(2, r))
+	l20, _ := a.Assess(degradeX(20, r))
+	lInf, _ := a.Assess(degradeX(1000, r))
+	if !(l2 >= l20 && l20 >= lInf) {
+		t.Fatalf("levels not ordered: %d >= %d >= %d expected", l2, l20, lInf)
+	}
+	if l2 < 2 {
+		t.Fatalf("imminent failure assessed level %d", l2)
+	}
+	if lInf != 0 {
+		t.Fatalf("healthy disk assessed level %d", lInf)
+	}
+}
+
+func TestObserveReleasesOutdatedAsNegative(t *testing.T) {
+	a := mkAssessor(t, 4)
+	r := rng.New(5)
+	for d := 0; d < 40; d++ {
+		a.Observe("d", degradeX(1000, r), d)
+	}
+	// Queue holds samples younger than 30 days: days 11..39 + edge.
+	if a.Pending() > 30 {
+		t.Fatalf("pending %d exceeds widest boundary", a.Pending())
+	}
+	st := a.Stats()
+	for k, s := range st {
+		if s.NegSeen == 0 {
+			t.Fatalf("forest %d saw no negatives", k)
+		}
+		if s.PosSeen != 0 {
+			t.Fatalf("forest %d saw positives without a failure", k)
+		}
+	}
+}
+
+func TestFailLabelsByRemainingLife(t *testing.T) {
+	a := mkAssessor(t, 6)
+	r := rng.New(7)
+	// 25 observations, then failure at day 24: remaining lives 24..0.
+	for d := 0; d < 25; d++ {
+		a.Observe("d", degradeX(24-d, r), d)
+	}
+	a.Fail("d", 24)
+	st := a.Stats()
+	// Forest for boundary 30: all 25 samples positive (remaining <= 30
+	// wait: remaining 24..0, all <= 30 -> 25 positives).
+	if st[0].PosSeen != 25 {
+		t.Fatalf("boundary-30 forest saw %d positives, want 25", st[0].PosSeen)
+	}
+	// Boundary 14: remaining <= 14 for days 10..24 -> 15 positives.
+	if st[1].PosSeen != 15 {
+		t.Fatalf("boundary-14 forest saw %d positives, want 15", st[1].PosSeen)
+	}
+	// Boundary 7: remaining <= 7 for days 17..24 -> 8 positives.
+	if st[2].PosSeen != 8 {
+		t.Fatalf("boundary-7 forest saw %d positives, want 8", st[2].PosSeen)
+	}
+	if a.Pending() != 0 {
+		t.Fatal("queue not drained after failure")
+	}
+}
+
+func TestRetireDropsSilently(t *testing.T) {
+	a := mkAssessor(t, 8)
+	r := rng.New(9)
+	for d := 0; d < 5; d++ {
+		a.Observe("d", degradeX(1000, r), d)
+	}
+	a.Retire("d")
+	if a.Pending() != 0 {
+		t.Fatal("retire left samples")
+	}
+	for _, s := range a.Stats() {
+		if s.Updates != 0 {
+			t.Fatal("retire trained the forests")
+		}
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	a := mkAssessor(t, 10)
+	for _, fn := range []func(){
+		func() { a.Observe("d", []float64{1}, 0) },
+		func() { a.Assess([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

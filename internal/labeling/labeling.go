@@ -1,0 +1,158 @@
+// Package labeling implements the paper's automatic online label method
+// (Figure 1, Algorithm 2): SMART samples cannot be labeled when they
+// arrive because the disk's fate is still unknown, so each disk keeps a
+// fixed-length queue of its most recent samples.
+//
+//   - When a new sample arrives and the queue is full, the oldest queued
+//     sample is at least the horizon old; the disk demonstrably survived
+//     the horizon after reporting it, so it is released as NEGATIVE.
+//   - When the disk fails, every queued sample lies within the horizon
+//     before the failure, so all of them are released as POSITIVE.
+//
+// The Labeler drives any online learner through an Update callback and
+// returns the model's live prediction for each arriving sample, exactly
+// mirroring Algorithm 2's update-then-predict loop.
+package labeling
+
+import (
+	"fmt"
+
+	"orfdisk/internal/smart"
+)
+
+// Queue is the fixed-length per-disk sample buffer Q_i of Algorithm 2.
+type Queue struct {
+	buf  [][]float64
+	days []int
+	cap  int
+}
+
+// NewQueue returns a queue holding up to capacity samples.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("labeling: non-positive queue capacity %d", capacity))
+	}
+	return &Queue{cap: capacity}
+}
+
+// Len returns the number of buffered samples.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return len(q.buf) == q.cap }
+
+// Enqueue appends a sample (feature vector + acquisition day).
+func (q *Queue) Enqueue(x []float64, day int) {
+	if q.Full() {
+		panic("labeling: enqueue on full queue")
+	}
+	q.buf = append(q.buf, x)
+	q.days = append(q.days, day)
+}
+
+// Dequeue removes and returns the oldest sample.
+func (q *Queue) Dequeue() (x []float64, day int) {
+	if len(q.buf) == 0 {
+		panic("labeling: dequeue on empty queue")
+	}
+	x, day = q.buf[0], q.days[0]
+	q.buf = q.buf[1:]
+	q.days = q.days[1:]
+	return x, day
+}
+
+// Labeled is a released training sample.
+type Labeled struct {
+	X    []float64
+	Y    smart.Label
+	Day  int    // acquisition day of the sample
+	Disk string // originating disk
+}
+
+// Labeler runs the automatic online label method over a fleet.
+// It is not safe for concurrent use.
+type Labeler struct {
+	horizon int
+	queues  map[string]*Queue
+	// Update receives each released labeled sample (model update phase).
+	Update func(Labeled)
+}
+
+// NewLabeler creates a labeler with the given horizon (queue capacity, in
+// samples; the paper uses one week of daily samples, so 7).
+func NewLabeler(horizon int, update func(Labeled)) *Labeler {
+	if horizon <= 0 {
+		horizon = smart.PredictionHorizonDays
+	}
+	return &Labeler{
+		horizon: horizon,
+		queues:  make(map[string]*Queue),
+		Update:  update,
+	}
+}
+
+// Horizon returns the queue capacity.
+func (l *Labeler) Horizon() int { return l.horizon }
+
+// ActiveDisks returns the number of disks currently tracked.
+func (l *Labeler) ActiveDisks() int { return len(l.queues) }
+
+// Pending returns the number of currently unlabeled buffered samples.
+func (l *Labeler) Pending() int {
+	n := 0
+	for _, q := range l.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// Observe processes one operating-disk sample (Algorithm 2, y == 0
+// branch): if the disk's queue is full the oldest sample is released as
+// negative, then the new sample is enqueued.
+func (l *Labeler) Observe(disk string, x []float64, day int) {
+	q := l.queues[disk]
+	if q == nil {
+		q = NewQueue(l.horizon)
+		l.queues[disk] = q
+	}
+	if q.Full() {
+		old, oldDay := q.Dequeue()
+		l.release(Labeled{X: old, Y: smart.Negative, Day: oldDay, Disk: disk})
+	}
+	q.Enqueue(x, day)
+}
+
+// Fail processes a disk failure (Algorithm 2, y == 1 branch): all queued
+// samples are released as positive, oldest first, and the disk is
+// forgotten.
+func (l *Labeler) Fail(disk string) {
+	q := l.queues[disk]
+	if q == nil {
+		return
+	}
+	for q.Len() > 0 {
+		x, day := q.Dequeue()
+		l.release(Labeled{X: x, Y: smart.Positive, Day: day, Disk: disk})
+	}
+	delete(l.queues, disk)
+}
+
+// Retire drops a disk without labeling its queued samples (the disk left
+// the fleet healthy; its last week is indeterminate, matching how the
+// paper leaves a good disk's latest week unlabeled).
+func (l *Labeler) Retire(disk string) {
+	delete(l.queues, disk)
+}
+
+// RetireAll drops every tracked disk without labeling queued samples.
+// Use at end-of-stream: the final week of surviving disks cannot be
+// labeled.
+func (l *Labeler) RetireAll() {
+	l.queues = make(map[string]*Queue)
+}
+
+func (l *Labeler) release(s Labeled) {
+	if l.Update != nil {
+		l.Update(s)
+	}
+}

@@ -1,0 +1,215 @@
+package labeling
+
+import (
+	"testing"
+
+	"orfdisk/internal/smart"
+)
+
+func collect() (*[]Labeled, func(Labeled)) {
+	var out []Labeled
+	return &out, func(s Labeled) { out = append(out, s) }
+}
+
+func vec(v float64) []float64 { return []float64{v} }
+
+func TestQueueBasics(t *testing.T) {
+	q := NewQueue(2)
+	if q.Full() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue(vec(1), 10)
+	q.Enqueue(vec(2), 11)
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	x, day := q.Dequeue()
+	if x[0] != 1 || day != 10 {
+		t.Fatalf("FIFO violated: got %v day %d", x, day)
+	}
+}
+
+func TestQueuePanics(t *testing.T) {
+	q := NewQueue(1)
+	q.Enqueue(vec(1), 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("enqueue on full queue did not panic")
+			}
+		}()
+		q.Enqueue(vec(2), 1)
+	}()
+	q.Dequeue()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("dequeue on empty queue did not panic")
+			}
+		}()
+		q.Dequeue()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewQueue(0) did not panic")
+			}
+		}()
+		NewQueue(0)
+	}()
+}
+
+func TestSurvivingDiskReleasesNegatives(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(3, upd)
+	for day := 0; day < 10; day++ {
+		l.Observe("d1", vec(float64(day)), day)
+	}
+	// 10 samples through a 3-deep queue: 7 released as negative, the
+	// last 3 still pending.
+	if len(*out) != 7 {
+		t.Fatalf("released %d samples, want 7", len(*out))
+	}
+	for i, s := range *out {
+		if s.Y != smart.Negative {
+			t.Fatalf("sample %d labeled %v, want negative", i, s.Y)
+		}
+		if s.Day != i {
+			t.Fatalf("sample %d has day %d: release order broken", i, s.Day)
+		}
+	}
+	if l.Pending() != 3 {
+		t.Fatalf("pending %d, want 3", l.Pending())
+	}
+}
+
+func TestFailureReleasesQueueAsPositive(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(7, upd)
+	for day := 0; day < 5; day++ {
+		l.Observe("d1", vec(float64(day)), day)
+	}
+	l.Fail("d1")
+	if len(*out) != 5 {
+		t.Fatalf("released %d samples, want 5", len(*out))
+	}
+	for i, s := range *out {
+		if s.Y != smart.Positive {
+			t.Fatalf("sample %d labeled %v, want positive", i, s.Y)
+		}
+	}
+	if l.ActiveDisks() != 0 {
+		t.Fatal("failed disk still tracked")
+	}
+}
+
+func TestHorizonBoundary(t *testing.T) {
+	// With horizon 7 and a disk that fails after 20 observations, the
+	// samples released as negative must all be at least 7 days older
+	// than the failure-day observation, and exactly the last 7 must be
+	// positive — the paper's labeling rule.
+	out, upd := collect()
+	l := NewLabeler(7, upd)
+	const days = 20
+	for day := 0; day < days; day++ {
+		l.Observe("d1", vec(float64(day)), day)
+	}
+	l.Fail("d1")
+	var neg, pos int
+	for _, s := range *out {
+		switch s.Y {
+		case smart.Negative:
+			neg++
+			if s.Day >= days-7 {
+				t.Fatalf("negative sample from day %d is within the last week", s.Day)
+			}
+		case smart.Positive:
+			pos++
+			if s.Day < days-7 {
+				t.Fatalf("positive sample from day %d precedes the last week", s.Day)
+			}
+		}
+	}
+	if neg != days-7 || pos != 7 {
+		t.Fatalf("released %d negative / %d positive, want %d / 7", neg, pos, days-7)
+	}
+}
+
+func TestMultipleDisksIndependent(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(2, upd)
+	l.Observe("a", vec(1), 0)
+	l.Observe("b", vec(2), 0)
+	l.Observe("a", vec(3), 1)
+	l.Observe("b", vec(4), 1)
+	l.Fail("a")
+	if l.ActiveDisks() != 1 {
+		t.Fatalf("tracked %d disks, want 1", l.ActiveDisks())
+	}
+	var aPos, bAny int
+	for _, s := range *out {
+		if s.Disk == "a" && s.Y == smart.Positive {
+			aPos++
+		}
+		if s.Disk == "b" {
+			bAny++
+		}
+	}
+	if aPos != 2 {
+		t.Fatalf("disk a released %d positives, want 2", aPos)
+	}
+	if bAny != 0 {
+		t.Fatalf("disk b leaked %d samples", bAny)
+	}
+}
+
+func TestRetireDiscardsSilently(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(3, upd)
+	l.Observe("d", vec(1), 0)
+	l.Observe("d", vec(2), 1)
+	l.Retire("d")
+	if len(*out) != 0 {
+		t.Fatalf("retire released %d samples", len(*out))
+	}
+	if l.ActiveDisks() != 0 {
+		t.Fatal("retired disk still tracked")
+	}
+}
+
+func TestRetireAll(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(3, upd)
+	l.Observe("a", vec(1), 0)
+	l.Observe("b", vec(2), 0)
+	l.RetireAll()
+	if l.ActiveDisks() != 0 || l.Pending() != 0 {
+		t.Fatal("RetireAll left state behind")
+	}
+	if len(*out) != 0 {
+		t.Fatal("RetireAll released samples")
+	}
+}
+
+func TestFailUnknownDiskIsNoop(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(3, upd)
+	l.Fail("ghost")
+	if len(*out) != 0 {
+		t.Fatal("unknown disk released samples")
+	}
+}
+
+func TestDefaultHorizon(t *testing.T) {
+	l := NewLabeler(0, nil)
+	if l.Horizon() != smart.PredictionHorizonDays {
+		t.Fatalf("default horizon %d, want %d", l.Horizon(), smart.PredictionHorizonDays)
+	}
+}
+
+func TestNilUpdateSafe(t *testing.T) {
+	l := NewLabeler(1, nil)
+	l.Observe("d", vec(1), 0)
+	l.Observe("d", vec(2), 1) // releases through nil Update
+	l.Fail("d")
+}

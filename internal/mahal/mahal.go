@@ -1,0 +1,157 @@
+// Package mahal implements Mahalanobis-distance anomaly detection for
+// disk health, the approach of Wang et al. (IEEE Trans. Reliability
+// 2013) surveyed in the paper's section 2: aggregate the SMART variables
+// into a single index — the Mahalanobis distance from the healthy
+// population — and alarm when the index crosses a threshold.
+//
+// The detector is one-class: it fits the mean and covariance of HEALTHY
+// samples only, so unlike the classifiers it needs no failure labels at
+// all. That makes it a useful cold-start comparator: it works from day
+// one, at the cost of much weaker discrimination.
+package mahal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted Mahalanobis detector.
+type Model struct {
+	mean []float64
+	// invCov is the (regularized) inverse covariance matrix, row-major.
+	invCov [][]float64
+	dim    int
+}
+
+// Fit estimates the healthy-population mean and covariance from X (rows
+// are healthy samples) with ridge regularization eps on the diagonal
+// (0 selects 1e-6). It panics on empty input and errors if the
+// regularized covariance is still singular.
+func Fit(X [][]float64, eps float64) (*Model, error) {
+	n := len(X)
+	if n == 0 {
+		panic("mahal: empty training set")
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	dim := len(X[0])
+	m := &Model{dim: dim, mean: make([]float64, dim)}
+	for _, x := range X {
+		for j, v := range x {
+			m.mean[j] += v
+		}
+	}
+	for j := range m.mean {
+		m.mean[j] /= float64(n)
+	}
+
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, x := range X {
+		for i := 0; i < dim; i++ {
+			di := x[i] - m.mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (x[j] - m.mean[j])
+			}
+		}
+	}
+	denom := float64(n - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= denom
+			cov[j][i] = cov[i][j]
+		}
+		cov[i][i] += eps
+	}
+
+	inv, err := invert(cov)
+	if err != nil {
+		return nil, err
+	}
+	m.invCov = inv
+	return m, nil
+}
+
+// invert computes the inverse of a square matrix by Gauss-Jordan
+// elimination with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augmented copy [a | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-18 {
+			return nil, fmt.Errorf("mahal: singular covariance at column %d", col)
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		p := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}
+
+// Distance returns the squared Mahalanobis distance of x from the
+// healthy population.
+func (m *Model) Distance(x []float64) float64 {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("mahal: input dimension %d, want %d", len(x), m.dim))
+	}
+	// d = (x-mu)' S^-1 (x-mu)
+	var d float64
+	for i := 0; i < m.dim; i++ {
+		di := x[i] - m.mean[i]
+		var row float64
+		for j := 0; j < m.dim; j++ {
+			row += m.invCov[i][j] * (x[j] - m.mean[j])
+		}
+		d += di * row
+	}
+	if d < 0 {
+		d = 0 // numerical guard
+	}
+	return d
+}
+
+// Predict reports whether x is anomalous at the given squared-distance
+// threshold.
+func (m *Model) Predict(x []float64, threshold float64) bool {
+	return m.Distance(x) >= threshold
+}
+
+// Dim returns the input dimensionality.
+func (m *Model) Dim() int { return m.dim }

@@ -1,0 +1,175 @@
+package mahal
+
+import (
+	"math"
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+func healthyCloud(seed uint64, n int) [][]float64 {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{r.NormFloat64(), 2 * r.NormFloat64(), 0.5 * r.NormFloat64()}
+	}
+	return X
+}
+
+func TestDistanceOfMeanIsZero(t *testing.T) {
+	m, err := Fit(healthyCloud(1, 2000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Distance(m.mean); d > 1e-9 {
+		t.Fatalf("distance at mean %v", d)
+	}
+}
+
+func TestDistanceScalesWithDeviation(t *testing.T) {
+	m, err := Fit(healthyCloud(2, 5000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sigma along each axis should be ~12 total (3 axes x 4).
+	x := []float64{2, 4, 1} // 2 sigma per axis given stds 1, 2, 0.5
+	d := m.Distance(x)
+	if math.Abs(d-12) > 2 {
+		t.Fatalf("2-sigma distance %v, want ~12", d)
+	}
+	// Whitening: equal sigma deviations have equal distances even though
+	// raw magnitudes differ by 4x across axes.
+	d1 := m.Distance([]float64{2, 0, 0})
+	d2 := m.Distance([]float64{0, 4, 0})
+	if math.Abs(d1-d2) > 0.6 {
+		t.Fatalf("covariance not whitened: %v vs %v", d1, d2)
+	}
+}
+
+func TestCorrelatedCovariance(t *testing.T) {
+	// Points on a correlated ridge: deviations along the ridge are
+	// cheap, across it expensive.
+	r := rng.New(3)
+	X := make([][]float64, 4000)
+	for i := range X {
+		a := r.NormFloat64()
+		X[i] = []float64{a, a + 0.1*r.NormFloat64()}
+	}
+	m, err := Fit(X, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	along := m.Distance([]float64{2, 2})
+	across := m.Distance([]float64{2, -2})
+	if across < 10*along {
+		t.Fatalf("across-ridge %v not >> along-ridge %v", across, along)
+	}
+}
+
+func TestAnomalyDetection(t *testing.T) {
+	m, err := Fit(healthyCloud(4, 3000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	// 99th percentile-ish threshold for 3 dof chi-square ~ 11.3.
+	const th = 11.3
+	fp := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if m.Predict([]float64{r.NormFloat64(), 2 * r.NormFloat64(), 0.5 * r.NormFloat64()}, th) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / n; rate > 0.03 {
+		t.Fatalf("healthy FP rate %v at chi2 99%% threshold", rate)
+	}
+	// Strong anomalies must be caught.
+	caught := 0
+	for i := 0; i < 100; i++ {
+		if m.Predict([]float64{5 + r.NormFloat64(), 10, 3}, th) {
+			caught++
+		}
+	}
+	if caught < 95 {
+		t.Fatalf("caught only %d/100 strong anomalies", caught)
+	}
+}
+
+func TestSingularCovarianceRegularized(t *testing.T) {
+	// Feature 1 duplicates feature 0: raw covariance is singular, the
+	// ridge must rescue it.
+	r := rng.New(6)
+	X := make([][]float64, 500)
+	for i := range X {
+		a := r.NormFloat64()
+		X[i] = []float64{a, a}
+	}
+	m, err := Fit(X, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge did not rescue singular covariance: %v", err)
+	}
+	if d := m.Distance([]float64{0, 0}); math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("distance %v", d)
+	}
+}
+
+func TestFitPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty input did not panic")
+		}
+	}()
+	Fit(nil, 0)
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	m, _ := Fit(healthyCloud(7, 100), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	m.Distance([]float64{1})
+}
+
+func TestInvertIdentity(t *testing.T) {
+	id := [][]float64{{1, 0}, {0, 1}}
+	inv, err := invert(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inv {
+		for j := range inv[i] {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(inv[i][j]-want) > 1e-12 {
+				t.Fatalf("inv(I) = %v", inv)
+			}
+		}
+	}
+}
+
+func TestInvertKnownMatrix(t *testing.T) {
+	a := [][]float64{{4, 7}, {2, 6}}
+	inv, err := invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(inv[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("inverse = %v, want %v", inv, want)
+			}
+		}
+	}
+}
+
+func TestInvertSingularErrors(t *testing.T) {
+	if _, err := invert([][]float64{{1, 2}, {2, 4}}); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+}

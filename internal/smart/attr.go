@@ -1,0 +1,176 @@
+// Package smart models SMART (Self-Monitoring, Analysis and Reporting
+// Technology) telemetry the way the paper consumes it: daily per-disk
+// snapshots carrying a normalized and a raw value for each attribute,
+// a feature catalog matching the 48 candidate features of section 4.2
+// (24 attributes x {Norm, Raw}), and the min-max feature scaling of Eq. 5.
+//
+// The package also reads and writes the Backblaze drive-stats CSV format,
+// so the experiment pipeline can run on either the synthetic fleet from
+// internal/dataset or real Backblaze snapshots.
+package smart
+
+import "fmt"
+
+// Kind distinguishes the two values every SMART attribute reports: the
+// vendor-normalized 1-byte health value and the 6-byte raw counter.
+type Kind uint8
+
+const (
+	// Norm is the vendor-normalized value (typically 1-253, larger is
+	// healthier for most attributes).
+	Norm Kind = iota
+	// Raw is the raw counter/measurement value.
+	Raw
+)
+
+func (k Kind) String() string {
+	if k == Norm {
+		return "Norm"
+	}
+	return "Raw"
+}
+
+// Attr describes one SMART attribute in the candidate catalog.
+type Attr struct {
+	ID   int    // SMART attribute ID (e.g. 187)
+	Name string // canonical attribute name
+	// Cumulative marks attributes that accumulate monotonically over a
+	// disk's life (Power-On Hours, Load Cycle Count, ...). The paper
+	// identifies the drifting distribution of cumulative attributes as
+	// the root cause of model aging.
+	Cumulative bool
+}
+
+// Feature is one model input: a (attribute, kind) pair.
+type Feature struct {
+	Attr Attr
+	Kind Kind
+	// Selected marks the 19 features chosen by the paper's feature
+	// selection (Table 2). Rank is the attribute's contribution rank from
+	// Table 2 (1 = most informative); 0 for unselected features.
+	Selected bool
+	Rank     int
+}
+
+// Name returns the canonical feature name, e.g. "smart_187_raw".
+func (f Feature) Name() string {
+	suffix := "normalized"
+	if f.Kind == Raw {
+		suffix = "raw"
+	}
+	return fmt.Sprintf("smart_%d_%s", f.Attr.ID, suffix)
+}
+
+// Label returns a human-readable label, e.g.
+// "Reported Uncorrectable Errors (Raw)".
+func (f Feature) Label() string {
+	return fmt.Sprintf("%s (%s)", f.Attr.Name, f.Kind)
+}
+
+// attrs is the 24-attribute candidate catalog (section 4.2: "each disk
+// drive reports 24 SMART attributes"). The first 13 are the attributes of
+// Table 2; the remainder are common Seagate attributes that the paper's
+// rank-sum filter discards.
+var attrs = []Attr{
+	{ID: 1, Name: "Read Error Rate"},
+	{ID: 5, Name: "Reallocated Sectors Count", Cumulative: true},
+	{ID: 7, Name: "Seek Error Rate"},
+	{ID: 9, Name: "Power-On Hours", Cumulative: true},
+	{ID: 12, Name: "Power Cycle Count", Cumulative: true},
+	{ID: 183, Name: "Runtime Bad Block", Cumulative: true},
+	{ID: 184, Name: "End-to-End Error", Cumulative: true},
+	{ID: 187, Name: "Reported Uncorrectable Errors", Cumulative: true},
+	{ID: 189, Name: "High Fly Writes", Cumulative: true},
+	{ID: 193, Name: "Load Cycle Count", Cumulative: true},
+	{ID: 197, Name: "Current Pending Sector Count"},
+	{ID: 198, Name: "Uncorrectable Sector Count", Cumulative: true},
+	{ID: 199, Name: "UltraDMA CRC Error Count", Cumulative: true},
+	{ID: 3, Name: "Spin-Up Time"},
+	{ID: 4, Name: "Start/Stop Count", Cumulative: true},
+	{ID: 10, Name: "Spin Retry Count", Cumulative: true},
+	{ID: 188, Name: "Command Timeout", Cumulative: true},
+	{ID: 190, Name: "Airflow Temperature"},
+	{ID: 191, Name: "G-Sense Error Rate", Cumulative: true},
+	{ID: 192, Name: "Power-off Retract Count", Cumulative: true},
+	{ID: 194, Name: "Temperature Celsius"},
+	{ID: 240, Name: "Head Flying Hours", Cumulative: true},
+	{ID: 241, Name: "Total LBAs Written", Cumulative: true},
+	{ID: 242, Name: "Total LBAs Read", Cumulative: true},
+}
+
+// table2 records the paper's Table 2: which kinds of which attribute are
+// selected, and the attribute's contribution rank.
+var table2 = map[int]struct {
+	norm, raw bool
+	rank      int
+}{
+	1:   {norm: true, rank: 13},
+	5:   {norm: true, raw: true, rank: 3},
+	7:   {norm: true, rank: 7},
+	9:   {raw: true, rank: 5},
+	12:  {raw: true, rank: 11},
+	183: {raw: true, rank: 8},
+	184: {norm: true, raw: true, rank: 4},
+	187: {norm: true, raw: true, rank: 1},
+	189: {norm: true, rank: 10},
+	193: {norm: true, raw: true, rank: 6},
+	197: {norm: true, raw: true, rank: 2},
+	198: {norm: true, raw: true, rank: 9},
+	199: {raw: true, rank: 12},
+}
+
+// catalog is the full 48-feature candidate list, indexed by FeatureIndex.
+var catalog = buildCatalog()
+
+func buildCatalog() []Feature {
+	fs := make([]Feature, 0, 2*len(attrs))
+	for _, a := range attrs {
+		sel := table2[a.ID]
+		fs = append(fs,
+			Feature{Attr: a, Kind: Norm, Selected: sel.norm, Rank: rankIf(sel.norm, sel.rank)},
+			Feature{Attr: a, Kind: Raw, Selected: sel.raw, Rank: rankIf(sel.raw, sel.rank)},
+		)
+	}
+	return fs
+}
+
+func rankIf(selected bool, rank int) int {
+	if selected {
+		return rank
+	}
+	return 0
+}
+
+// Catalog returns the full candidate feature list (48 features). The
+// returned slice is shared; callers must not modify it.
+func Catalog() []Feature { return catalog }
+
+// NumFeatures returns the size of the candidate catalog.
+func NumFeatures() int { return len(catalog) }
+
+// SelectedIndexes returns the catalog indexes of the 19 features the
+// paper's feature selection keeps (Table 2), in catalog order.
+func SelectedIndexes() []int {
+	idx := make([]int, 0, 19)
+	for i, f := range catalog {
+		if f.Selected {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// FeatureIndex returns the catalog index of the (attrID, kind) feature,
+// or -1 if the attribute is not in the catalog.
+func FeatureIndex(attrID int, kind Kind) int {
+	for i, f := range catalog {
+		if f.Attr.ID == attrID && f.Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attrs returns the 24-attribute candidate catalog. The returned slice is
+// shared; callers must not modify it.
+func Attrs() []Attr { return attrs }

@@ -1,0 +1,183 @@
+package smart
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// The Backblaze drive-stats CSV layout:
+//
+//	date,serial_number,model,capacity_bytes,failure,
+//	smart_1_normalized,smart_1_raw,smart_3_normalized,...
+//
+// Writer emits exactly the candidate catalog's columns; Reader accepts any
+// column order and any superset of attributes, mapping known smart_*
+// columns into the catalog and leaving unknown ones out, so real Backblaze
+// exports parse directly.
+
+// epoch anchors Day 0 when rendering dates. The specific date is
+// arbitrary; Backblaze's ST4000DM000 coverage begins in 2013.
+var epoch = time.Date(2013, time.April, 10, 0, 0, 0, 0, time.UTC)
+
+// DayToDate renders a day index as a Backblaze-style date string.
+func DayToDate(day int) string {
+	return epoch.AddDate(0, 0, day).Format("2006-01-02")
+}
+
+// DateToDay parses a Backblaze date string into a day index.
+func DateToDay(s string) (int, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("smart: bad date %q: %w", s, err)
+	}
+	return int(t.Sub(epoch).Hours() / 24), nil
+}
+
+// Writer streams samples to w in Backblaze CSV format.
+type Writer struct {
+	cw      *csv.Writer
+	wrote   bool
+	capByte map[string]int64 // capacity per model, for the capacity column
+}
+
+// NewWriter returns a Writer targeting w. capacities maps drive model to
+// capacity in bytes (0 is written for unknown models).
+func NewWriter(w io.Writer, capacities map[string]int64) *Writer {
+	return &Writer{cw: csv.NewWriter(w), capByte: capacities}
+}
+
+func header() []string {
+	h := []string{"date", "serial_number", "model", "capacity_bytes", "failure"}
+	for _, f := range Catalog() {
+		h = append(h, f.Name())
+	}
+	return h
+}
+
+// Write emits one sample row (and the header before the first row).
+func (w *Writer) Write(s Sample) error {
+	if !w.wrote {
+		if err := w.cw.Write(header()); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	row := make([]string, 0, 5+len(s.Values))
+	row = append(row, DayToDate(s.Day), s.Serial, s.Model,
+		strconv.FormatInt(w.capByte[s.Model], 10), boolTo01(s.Failure))
+	for _, v := range s.Values {
+		row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return w.cw.Write(row)
+}
+
+// Flush flushes buffered rows and returns any write error.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+func boolTo01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Reader streams samples from a Backblaze-format CSV.
+type Reader struct {
+	cr *csv.Reader
+	// colFor[i] is the catalog index the i-th CSV column maps to, or -1.
+	colFor             []int
+	dateCol, serialCol int
+	modelCol, failCol  int
+}
+
+// NewReader parses the header of r and returns a sample Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("smart: reading CSV header: %w", err)
+	}
+	rd := &Reader{cr: cr, dateCol: -1, serialCol: -1, modelCol: -1, failCol: -1}
+	rd.colFor = make([]int, len(head))
+	names := make(map[string]int, 2*NumFeatures())
+	for i, f := range Catalog() {
+		names[f.Name()] = i
+	}
+	for i, col := range head {
+		rd.colFor[i] = -1
+		switch col {
+		case "date":
+			rd.dateCol = i
+		case "serial_number":
+			rd.serialCol = i
+		case "model":
+			rd.modelCol = i
+		case "failure":
+			rd.failCol = i
+		default:
+			if idx, ok := names[col]; ok {
+				rd.colFor[i] = idx
+			}
+		}
+	}
+	if rd.dateCol < 0 || rd.serialCol < 0 || rd.modelCol < 0 || rd.failCol < 0 {
+		return nil, fmt.Errorf("smart: CSV header missing required columns (date, serial_number, model, failure)")
+	}
+	return rd, nil
+}
+
+// Read returns the next sample, or io.EOF at end of input. Missing or
+// malformed smart_* cells become NaN-free zeros; the Backblaze exports
+// leave unsupported attributes empty.
+func (r *Reader) Read() (Sample, error) {
+	rec, err := r.cr.Read()
+	if err != nil {
+		return Sample{}, err
+	}
+	var s Sample
+	s.Day, err = DateToDay(rec[r.dateCol])
+	if err != nil {
+		return Sample{}, err
+	}
+	s.Serial = rec[r.serialCol]
+	s.Model = rec[r.modelCol]
+	s.Failure = rec[r.failCol] == "1"
+	s.Values = make([]float64, NumFeatures())
+	for i, cat := range r.colFor {
+		if cat < 0 || i >= len(rec) {
+			continue
+		}
+		cell := rec[i]
+		if cell == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Sample{}, fmt.Errorf("smart: bad value %q in column %d: %w", cell, i, err)
+		}
+		s.Values[cat] = v
+	}
+	return s, nil
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Sample, error) {
+	var out []Sample
+	for {
+		s, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

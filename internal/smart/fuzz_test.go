@@ -1,0 +1,79 @@
+package smart
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVReader feeds arbitrary bytes through the Backblaze CSV reader:
+// it must either return a clean error or parse rows without panicking,
+// and parsed rows must carry a full-width value vector.
+func FuzzCSVReader(f *testing.F) {
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+		"2013-04-11,SER1,M,0,0,17\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure\n2013-04-11,S,M,0,1\n")
+	f.Add("not,a,header\n1,2,3\n")
+	f.Add("")
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_5_raw\n" +
+		"2013-04-11,S,M,0,0,NaN\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		r, err := NewReader(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			s, err := r.Read()
+			if err != nil {
+				return // io.EOF or a parse error — both fine
+			}
+			if len(s.Values) != NumFeatures() {
+				t.Fatalf("parsed row has %d values", len(s.Values))
+			}
+		}
+	})
+}
+
+// FuzzCSVRoundTrip checks Write/Read stability for arbitrary metadata
+// strings that survive CSV quoting.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add("SERIAL-1", "ST4000DM000", 5, false)
+	f.Add("weird,serial", "model\"quoted\"", 0, true)
+	f.Add("", "", 12345, false)
+	f.Fuzz(func(t *testing.T, serial, model string, day int, failed bool) {
+		if day < 0 || day > 1<<20 ||
+			strings.ContainsAny(serial, "\r\n") || strings.ContainsAny(model, "\r\n") {
+			return
+		}
+		in := Sample{
+			Serial: serial, Model: model, Day: day, Failure: failed,
+			Values: make([]float64, NumFeatures()),
+		}
+		for i := range in.Values {
+			in.Values[i] = float64(i) * 1.5
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, nil)
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Read()
+		if err != nil {
+			t.Fatalf("round trip read: %v", err)
+		}
+		if out.Serial != serial || out.Model != model || out.Day != day || out.Failure != failed {
+			t.Fatalf("round trip mismatch: %+v", out)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package smart
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler applies the min-max normalization of Eq. 5,
+//
+//	x' = (x - x_min) / (x_max - x_min),
+//
+// fitted per feature over data of one disk model. It supports both the
+// offline protocol (Fit over a training set) and the online protocol
+// (Observe each arriving sample, expanding the running min/max), so the
+// same type serves the offline baselines and the ORF stream.
+type Scaler struct {
+	min, max []float64
+	seen     bool
+}
+
+// NewScaler returns a scaler for vectors of dim features.
+func NewScaler(dim int) *Scaler {
+	s := &Scaler{
+		min: make([]float64, dim),
+		max: make([]float64, dim),
+	}
+	for i := range s.min {
+		s.min[i] = math.Inf(1)
+		s.max[i] = math.Inf(-1)
+	}
+	return s
+}
+
+// Dim returns the number of features the scaler was built for.
+func (s *Scaler) Dim() int { return len(s.min) }
+
+// Observe expands the per-feature min/max with one vector. NaN entries are
+// ignored.
+func (s *Scaler) Observe(x []float64) {
+	if len(x) != len(s.min) {
+		panic("smart: Scaler.Observe dimension mismatch")
+	}
+	s.seen = true
+	for i, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < s.min[i] {
+			s.min[i] = v
+		}
+		if v > s.max[i] {
+			s.max[i] = v
+		}
+	}
+}
+
+// Fit resets the scaler and observes every vector in xs.
+func (s *Scaler) Fit(xs [][]float64) {
+	for i := range s.min {
+		s.min[i] = math.Inf(1)
+		s.max[i] = math.Inf(-1)
+	}
+	s.seen = false
+	for _, x := range xs {
+		s.Observe(x)
+	}
+}
+
+// Transform writes the scaled version of x into dst and returns dst. If
+// dst is nil a new slice is allocated. Features with a degenerate range
+// (max == min, or never observed) map to 0. Values outside the fitted
+// range are clamped to [0, 1], which is how a deployed scaler must treat
+// out-of-distribution readings.
+func (s *Scaler) Transform(x, dst []float64) []float64 {
+	if len(x) != len(s.min) {
+		panic("smart: Scaler.Transform dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	for i, v := range x {
+		lo, hi := s.min[i], s.max[i]
+		if math.IsNaN(v) || math.IsInf(lo, 1) || hi <= lo {
+			dst[i] = 0
+			continue
+		}
+		span := hi - lo
+		var t float64
+		if math.IsInf(span, 0) {
+			// Avoid overflow for extreme ranges by halving first.
+			t = (v/2 - lo/2) / (hi/2 - lo/2)
+		} else {
+			t = (v - lo) / span
+		}
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		dst[i] = t
+	}
+	return dst
+}
+
+// Snapshot returns copies of the per-feature minima and maxima (for
+// serialization). Unobserved features are +Inf/-Inf.
+func (s *Scaler) Snapshot() (min, max []float64) {
+	return append([]float64(nil), s.min...), append([]float64(nil), s.max...)
+}
+
+// Restore replaces the scaler state with the given minima and maxima.
+// Lengths must match the scaler's dimension.
+func (s *Scaler) Restore(min, max []float64) error {
+	if len(min) != len(s.min) || len(max) != len(s.max) {
+		return fmt.Errorf("smart: Restore dimension mismatch (%d/%d, want %d)",
+			len(min), len(max), len(s.min))
+	}
+	copy(s.min, min)
+	copy(s.max, max)
+	s.seen = true
+	return nil
+}
+
+// Range returns the fitted (min, max) of feature i.
+func (s *Scaler) Range(i int) (min, max float64) { return s.min[i], s.max[i] }
+
+// Fitted reports whether the scaler has observed at least one vector.
+func (s *Scaler) Fitted() bool { return s.seen }

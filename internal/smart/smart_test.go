@@ -1,0 +1,320 @@
+package smart
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if got := NumFeatures(); got != 48 {
+		t.Fatalf("catalog has %d features, want 48 (24 attributes x 2)", got)
+	}
+	if got := len(Attrs()); got != 24 {
+		t.Fatalf("catalog has %d attributes, want 24", got)
+	}
+}
+
+func TestTable2SelectionCounts(t *testing.T) {
+	sel := SelectedIndexes()
+	if len(sel) != 19 {
+		t.Fatalf("%d selected features, want 19 (Table 2)", len(sel))
+	}
+	norms, raws := 0, 0
+	for _, i := range sel {
+		if Catalog()[i].Kind == Norm {
+			norms++
+		} else {
+			raws++
+		}
+	}
+	if norms != 9 || raws != 10 {
+		t.Fatalf("selected %d Norm + %d Raw, want 9 + 10", norms, raws)
+	}
+}
+
+func TestTable2Ranks(t *testing.T) {
+	// Ranks 1..13 must each appear on at least one selected feature, and
+	// the top three attributes must match the paper: 187, 197, 5.
+	ranks := map[int][]int{}
+	for _, i := range SelectedIndexes() {
+		f := Catalog()[i]
+		ranks[f.Rank] = append(ranks[f.Rank], f.Attr.ID)
+	}
+	for r := 1; r <= 13; r++ {
+		if len(ranks[r]) == 0 {
+			t.Errorf("no selected feature with rank %d", r)
+		}
+	}
+	for r, want := range map[int]int{1: 187, 2: 197, 3: 5} {
+		for _, id := range ranks[r] {
+			if id != want {
+				t.Errorf("rank %d attribute %d, want %d", r, id, want)
+			}
+		}
+	}
+}
+
+func TestFeatureIndexRoundTrip(t *testing.T) {
+	for i, f := range Catalog() {
+		if got := FeatureIndex(f.Attr.ID, f.Kind); got != i {
+			t.Fatalf("FeatureIndex(%d,%v) = %d, want %d", f.Attr.ID, f.Kind, got, i)
+		}
+	}
+	if FeatureIndex(9999, Raw) != -1 {
+		t.Fatal("FeatureIndex of unknown attribute should be -1")
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	f := Catalog()[FeatureIndex(187, Raw)]
+	if f.Name() != "smart_187_raw" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	n := Catalog()[FeatureIndex(187, Norm)]
+	if n.Name() != "smart_187_normalized" {
+		t.Fatalf("Name() = %q", n.Name())
+	}
+	if !strings.Contains(f.Label(), "Reported Uncorrectable Errors") {
+		t.Fatalf("Label() = %q", f.Label())
+	}
+}
+
+func TestSampleValueAndClone(t *testing.T) {
+	s := Sample{Serial: "Z1", Values: make([]float64, NumFeatures())}
+	idx := FeatureIndex(5, Raw)
+	s.Values[idx] = 42
+	if s.Value(5, Raw) != 42 {
+		t.Fatalf("Value(5,Raw) = %v", s.Value(5, Raw))
+	}
+	c := s.Clone()
+	c.Values[idx] = 7
+	if s.Values[idx] != 42 {
+		t.Fatal("Clone shares the Values slice")
+	}
+}
+
+func TestSampleValuePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value on unknown attribute did not panic")
+		}
+	}()
+	s := Sample{Values: make([]float64, NumFeatures())}
+	s.Value(9999, Raw)
+}
+
+func TestMonthOfDay(t *testing.T) {
+	cases := []struct{ day, month int }{
+		{0, 0}, {29, 0}, {30, 1}, {59, 1}, {60, 2}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := MonthOfDay(c.day); got != c.month {
+			t.Errorf("MonthOfDay(%d) = %d, want %d", c.day, got, c.month)
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	vals := []float64{10, 20, 30, 40}
+	got := Project(vals, []int{3, 0})
+	if len(got) != 2 || got[0] != 40 || got[1] != 10 {
+		t.Fatalf("Project = %v", got)
+	}
+}
+
+func TestScalerBasic(t *testing.T) {
+	s := NewScaler(2)
+	s.Fit([][]float64{{0, 10}, {5, 30}, {10, 20}})
+	out := s.Transform([]float64{5, 20}, nil)
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[1]-0.5) > 1e-12 {
+		t.Fatalf("Transform = %v", out)
+	}
+}
+
+func TestScalerClampsOutOfRange(t *testing.T) {
+	s := NewScaler(1)
+	s.Fit([][]float64{{0}, {10}})
+	if out := s.Transform([]float64{-5}, nil); out[0] != 0 {
+		t.Fatalf("below-range -> %v, want 0", out[0])
+	}
+	if out := s.Transform([]float64{15}, nil); out[0] != 1 {
+		t.Fatalf("above-range -> %v, want 1", out[0])
+	}
+}
+
+func TestScalerDegenerateFeature(t *testing.T) {
+	s := NewScaler(1)
+	s.Fit([][]float64{{7}, {7}})
+	if out := s.Transform([]float64{7}, nil); out[0] != 0 {
+		t.Fatalf("degenerate feature -> %v, want 0", out[0])
+	}
+}
+
+func TestScalerUnfitted(t *testing.T) {
+	s := NewScaler(1)
+	if s.Fitted() {
+		t.Fatal("fresh scaler reports Fitted")
+	}
+	if out := s.Transform([]float64{3}, nil); out[0] != 0 {
+		t.Fatalf("unfitted Transform = %v, want 0", out[0])
+	}
+}
+
+func TestScalerObserveOnline(t *testing.T) {
+	s := NewScaler(1)
+	s.Observe([]float64{10})
+	s.Observe([]float64{20})
+	out := s.Transform([]float64{15}, nil)
+	if math.Abs(out[0]-0.5) > 1e-12 {
+		t.Fatalf("online Transform = %v", out)
+	}
+	// Expanding the range shifts the mapping.
+	s.Observe([]float64{40})
+	out = s.Transform([]float64{25}, out)
+	if math.Abs(out[0]-0.5) > 1e-12 {
+		t.Fatalf("expanded Transform = %v", out)
+	}
+}
+
+func TestScalerIgnoresNaN(t *testing.T) {
+	s := NewScaler(1)
+	s.Observe([]float64{math.NaN()})
+	s.Observe([]float64{1})
+	s.Observe([]float64{3})
+	out := s.Transform([]float64{2}, nil)
+	if math.Abs(out[0]-0.5) > 1e-12 {
+		t.Fatalf("NaN-polluted fit Transform = %v", out)
+	}
+	out = s.Transform([]float64{math.NaN()}, out)
+	if out[0] != 0 {
+		t.Fatalf("Transform(NaN) = %v, want 0", out[0])
+	}
+}
+
+func TestScalerOutputInUnitInterval(t *testing.T) {
+	f := func(a, b, x float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(x, 0) {
+			return true
+		}
+		s := NewScaler(1)
+		s.Observe([]float64{a})
+		s.Observe([]float64{b})
+		out := s.Transform([]float64{x}, nil)
+		return out[0] >= 0 && out[0] <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, map[string]int64{"ST4000DM000": 4_000_787_030_016})
+	in := []Sample{
+		{Serial: "Z300ABC", Model: "ST4000DM000", Day: 0, Values: seqValues(1)},
+		{Serial: "Z300ABC", Model: "ST4000DM000", Day: 1, Values: seqValues(2)},
+		{Serial: "Z300DEF", Model: "ST4000DM000", Day: 1, Failure: true, Values: seqValues(3)},
+	}
+	for _, s := range in {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Serial != in[i].Serial || out[i].Day != in[i].Day ||
+			out[i].Failure != in[i].Failure || out[i].Model != in[i].Model {
+			t.Fatalf("sample %d metadata mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		for j := range in[i].Values {
+			if out[i].Values[j] != in[i].Values[j] {
+				t.Fatalf("sample %d value %d: %v vs %v", i, j, out[i].Values[j], in[i].Values[j])
+			}
+		}
+	}
+}
+
+func seqValues(base float64) []float64 {
+	v := make([]float64, NumFeatures())
+	for i := range v {
+		v[i] = base + float64(i)*0.5
+	}
+	return v
+}
+
+func TestCSVRejectsMissingColumns(t *testing.T) {
+	_, err := NewReader(strings.NewReader("date,serial_number,model\n"))
+	if err == nil {
+		t.Fatal("header without failure column accepted")
+	}
+}
+
+func TestCSVToleratesUnknownAndEmptyColumns(t *testing.T) {
+	csv := "date,serial_number,model,capacity_bytes,failure,smart_187_raw,smart_9999_raw\n" +
+		"2013-04-11,SER1,MODEL,0,0,17,\n"
+	r, err := NewReader(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("read %d rows", len(out))
+	}
+	if out[0].Day != 1 {
+		t.Fatalf("Day = %d, want 1", out[0].Day)
+	}
+	if out[0].Value(187, Raw) != 17 {
+		t.Fatalf("smart_187_raw = %v", out[0].Value(187, Raw))
+	}
+}
+
+func TestCSVBadValueErrors(t *testing.T) {
+	csv := "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+		"2013-04-11,SER1,MODEL,0,0,notanumber\n"
+	r, err := NewReader(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestDayDateRoundTrip(t *testing.T) {
+	for _, day := range []int{0, 1, 30, 365, 1200} {
+		d, err := DateToDay(DayToDate(day))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != day {
+			t.Fatalf("round trip %d -> %d", day, d)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" {
+		t.Fatal("Label.String mismatch")
+	}
+}

@@ -1,0 +1,114 @@
+// Package stats implements the statistical machinery used by the disk
+// failure prediction pipeline: the Wilcoxon rank-sum (Mann-Whitney U) test
+// that drives feature selection (paper section 4.2), the disk-granularity
+// FDR/FAR metrics of section 4.3, and general descriptive statistics used
+// by the experiment reports.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RankSumResult reports the outcome of a two-sided Wilcoxon rank-sum test.
+type RankSumResult struct {
+	U      float64 // Mann-Whitney U statistic for sample X
+	Z      float64 // normal-approximation z score (tie-corrected)
+	PValue float64 // two-sided p-value under the normal approximation
+	NX, NY int     // sample sizes
+}
+
+// RankSum performs a two-sided Wilcoxon rank-sum test of the hypothesis
+// that x and y are drawn from the same distribution, using the normal
+// approximation with tie correction. The approximation is accurate for
+// sample sizes above ~20, which is always the case for SMART feature
+// screening; for tiny inputs the p-value is still monotone and usable for
+// ranking.
+func RankSum(x, y []float64) RankSumResult {
+	nx, ny := len(x), len(y)
+	res := RankSumResult{NX: nx, NY: ny, PValue: 1}
+	if nx == 0 || ny == 0 {
+		return res
+	}
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	all := make([]obs, 0, nx+ny)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	n := float64(nx + ny)
+	// Assign midranks and accumulate the tie correction term sum(t^3 - t).
+	rankSumX := 0.0
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		// Observations i..j-1 are tied; their midrank is the average of
+		// ranks i+1..j (1-based).
+		midrank := float64(i+j+1) / 2
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		for k := i; k < j; k++ {
+			if all[k].fromX {
+				rankSumX += midrank
+			}
+		}
+		i = j
+	}
+
+	fx, fy := float64(nx), float64(ny)
+	u := rankSumX - fx*(fx+1)/2 // U statistic for X
+	res.U = u
+	meanU := fx * fy / 2
+	varU := fx * fy / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if varU <= 0 {
+		// All observations identical: no evidence of a difference.
+		res.Z = 0
+		res.PValue = 1
+		return res
+	}
+	// Continuity correction of 0.5 toward the mean.
+	diff := u - meanU
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	z := diff / math.Sqrt(varU)
+	res.Z = z
+	res.PValue = 2 * normSF(math.Abs(z))
+	if res.PValue > 1 {
+		res.PValue = 1
+	}
+	return res
+}
+
+// normSF returns the standard normal survival function P(Z > z).
+func normSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Discriminative reports whether the rank-sum test rejects equality of the
+// two samples at significance level alpha. The paper filters out SMART
+// features that "fail to make a distinction" between positive and negative
+// samples; this is the predicate used for that filter.
+func (r RankSumResult) Discriminative(alpha float64) bool {
+	if r.NX == 0 || r.NY == 0 {
+		return false
+	}
+	return r.PValue < alpha
+}

@@ -1,0 +1,223 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+func blobs(seed uint64, n int, sep float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{r.NormFloat64() * 0.5, r.NormFloat64() * 0.5})
+		y = append(y, 0)
+		X = append(X, []float64{sep + r.NormFloat64()*0.5, sep + r.NormFloat64()*0.5})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	correct := 0
+	for i := range X {
+		if m.Predict(X[i], 0) == (y[i] == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestLinearSeparable(t *testing.T) {
+	X, y := blobs(1, 100, 4)
+	m := Train(X, y, Config{Kernel: Linear{}, C: 1})
+	if acc := accuracy(m, X, y); acc < 0.99 {
+		t.Fatalf("linear accuracy %v on separable blobs", acc)
+	}
+	if m.NumSV() == 0 || m.NumSV() == len(X) {
+		t.Fatalf("implausible SV count %d of %d", m.NumSV(), len(X))
+	}
+}
+
+func TestRBFSeparable(t *testing.T) {
+	X, y := blobs(2, 100, 3)
+	m := Train(X, y, Config{Kernel: RBF{Gamma: 0.5}, C: 10})
+	if acc := accuracy(m, X, y); acc < 0.99 {
+		t.Fatalf("RBF accuracy %v on separable blobs", acc)
+	}
+}
+
+func TestRBFNonlinear(t *testing.T) {
+	// Circle-in-ring: linearly inseparable, RBF must solve it.
+	r := rng.New(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		theta := r.Float64() * 2 * math.Pi
+		rad := 0.3 * r.Float64()
+		X = append(X, []float64{rad * math.Cos(theta), rad * math.Sin(theta)})
+		y = append(y, 1)
+		rad = 1.2 + 0.3*r.Float64()
+		X = append(X, []float64{rad * math.Cos(theta), rad * math.Sin(theta)})
+		y = append(y, 0)
+	}
+	mRBF := Train(X, y, Config{Kernel: RBF{Gamma: 2}, C: 10})
+	if acc := accuracy(mRBF, X, y); acc < 0.98 {
+		t.Fatalf("RBF accuracy %v on circle data", acc)
+	}
+	mLin := Train(X, y, Config{Kernel: Linear{}, C: 10})
+	if accLin := accuracy(mLin, X, y); accLin > 0.8 {
+		t.Fatalf("linear kernel suspiciously good (%v) on circle data", accLin)
+	}
+}
+
+func TestDecisionSignConsistency(t *testing.T) {
+	X, y := blobs(4, 50, 3)
+	m := Train(X, y, Config{Kernel: RBF{Gamma: 0.5}, C: 1})
+	for i := range X {
+		d := m.Decision(X[i])
+		if m.Predict(X[i], 0) != (d >= 0) {
+			t.Fatal("Predict disagrees with Decision sign")
+		}
+	}
+}
+
+func TestOffsetTradesRecallForPrecision(t *testing.T) {
+	// Overlapping blobs: raising the offset must weakly reduce both
+	// positive detections and false alarms.
+	X, y := blobs(5, 300, 1.2)
+	m := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	count := func(offset float64) (tp, fp int) {
+		for i := range X {
+			if m.Predict(X[i], offset) {
+				if y[i] == 1 {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+		return tp, fp
+	}
+	tp0, fp0 := count(-0.5)
+	tp1, fp1 := count(0.5)
+	if tp1 > tp0 || fp1 > fp0 {
+		t.Fatalf("raising offset increased detections: (%d,%d) -> (%d,%d)",
+			tp0, fp0, tp1, fp1)
+	}
+	if fp0 == fp1 {
+		t.Fatal("offset has no effect on false alarms in overlapping data")
+	}
+}
+
+func TestClassWeightShiftsBoundary(t *testing.T) {
+	// Imbalanced overlapping data: upweighting positives must increase
+	// positive recall.
+	r := rng.New(6)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		X = append(X, []float64{r.NormFloat64()}, []float64{2 + r.NormFloat64()})
+		y = append(y, 0, 0)
+	}
+	for i := 0; i < 25; i++ {
+		X = append(X, []float64{2 + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	plain := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	weighted := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1,
+		ClassWeight: [2]float64{1, 20}})
+	recall := func(m *Model) int {
+		n := 0
+		for i := range X {
+			if y[i] == 1 && m.Predict(X[i], 0) {
+				n++
+			}
+		}
+		return n
+	}
+	if recall(weighted) <= recall(plain) {
+		t.Fatalf("weighted recall %d not above plain %d", recall(weighted), recall(plain))
+	}
+}
+
+func TestDualConstraintsRespected(t *testing.T) {
+	// Reconstruct alpha from svCoef: |coef| <= C*classWeight and
+	// sum(coef) ~= 0 (the y'a = 0 constraint).
+	X, y := blobs(7, 100, 1.5)
+	cfg := Config{Kernel: RBF{Gamma: 1}, C: 2}
+	m := Train(X, y, cfg)
+	var sum float64
+	for _, c := range m.svCoef {
+		if math.Abs(c) > cfg.C+1e-9 {
+			t.Fatalf("coef %v exceeds C=%v", c, cfg.C)
+		}
+		sum += c
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("sum of alpha*y = %v, want 0", sum)
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { Train(nil, nil, Config{}) },
+		"one-class": func() { Train([][]float64{{0}, {1}}, []int{1, 1}, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s input did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := blobs(8, 80, 2)
+	m1 := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	m2 := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	r := rng.New(9)
+	for i := 0; i < 50; i++ {
+		x := []float64{r.NormFloat64() * 2, r.NormFloat64() * 2}
+		if m1.Decision(x) != m2.Decision(x) {
+			t.Fatal("SMO is not deterministic")
+		}
+	}
+}
+
+func TestMaxIterCaps(t *testing.T) {
+	X, y := blobs(10, 200, 0.5) // heavily overlapping: slow convergence
+	m := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 100, MaxIter: 50})
+	if m.Iterations() > 50 {
+		t.Fatalf("ran %d iterations, cap 50", m.Iterations())
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	if (RBF{Gamma: 0.5}).String() == "" || (Linear{}).String() == "" {
+		t.Fatal("empty kernel String()")
+	}
+}
+
+func BenchmarkTrainRBF400(b *testing.B) {
+	X, y := blobs(11, 200, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	}
+}
+
+func BenchmarkDecision(b *testing.B) {
+	X, y := blobs(12, 200, 1.5)
+	m := Train(X, y, Config{Kernel: RBF{Gamma: 1}, C: 1})
+	x := X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decision(x)
+	}
+}

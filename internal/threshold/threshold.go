@@ -1,0 +1,59 @@
+// Package threshold implements the manufacturer-style static SMART
+// threshold detector: raise an alarm when any monitored attribute crosses
+// its fixed threshold. The paper's related work (section 2) reports this
+// scheme achieves only 3-10% FDR because vendors set thresholds very
+// conservatively; the detector exists here as that historical baseline.
+package threshold
+
+import "fmt"
+
+// Rule triggers when the feature at Index compares against Limit.
+type Rule struct {
+	Index int     // feature index in the input vector
+	Limit float64 // threshold value
+	// Above selects the trigger direction: true fires when
+	// x[Index] >= Limit (raw error counters), false fires when
+	// x[Index] <= Limit (normalized health values sinking).
+	Above bool
+	Name  string // label for reports
+}
+
+// Detector alarms when any rule fires.
+type Detector struct {
+	rules []Rule
+}
+
+// New returns a detector over the given rules.
+func New(rules []Rule) *Detector {
+	return &Detector{rules: append([]Rule(nil), rules...)}
+}
+
+// Predict reports whether any rule fires on x.
+func (d *Detector) Predict(x []float64) bool {
+	r, _ := d.Trigger(x)
+	return r != nil
+}
+
+// Trigger returns the first firing rule and its observed value, or
+// (nil, 0) if none fire.
+func (d *Detector) Trigger(x []float64) (*Rule, float64) {
+	for i := range d.rules {
+		r := &d.rules[i]
+		if r.Index < 0 || r.Index >= len(x) {
+			continue
+		}
+		v := x[r.Index]
+		if (r.Above && v >= r.Limit) || (!r.Above && v <= r.Limit) {
+			return r, v
+		}
+	}
+	return nil, 0
+}
+
+// NumRules returns the rule count.
+func (d *Detector) NumRules() int { return len(d.rules) }
+
+// String describes the detector.
+func (d *Detector) String() string {
+	return fmt.Sprintf("threshold detector with %d rules", len(d.rules))
+}

@@ -1,0 +1,59 @@
+package threshold
+
+import "testing"
+
+func TestAboveRule(t *testing.T) {
+	d := New([]Rule{{Index: 0, Limit: 10, Above: true, Name: "realloc"}})
+	if d.Predict([]float64{5}) {
+		t.Fatal("fired below limit")
+	}
+	if !d.Predict([]float64{10}) {
+		t.Fatal("did not fire at limit")
+	}
+	if !d.Predict([]float64{100}) {
+		t.Fatal("did not fire above limit")
+	}
+}
+
+func TestBelowRule(t *testing.T) {
+	d := New([]Rule{{Index: 1, Limit: 30, Above: false, Name: "health"}})
+	if d.Predict([]float64{0, 80}) {
+		t.Fatal("fired above limit")
+	}
+	if !d.Predict([]float64{0, 20}) {
+		t.Fatal("did not fire below limit")
+	}
+}
+
+func TestAnyRuleFires(t *testing.T) {
+	d := New([]Rule{
+		{Index: 0, Limit: 10, Above: true, Name: "a"},
+		{Index: 1, Limit: 5, Above: true, Name: "b"},
+	})
+	r, v := d.Trigger([]float64{0, 7})
+	if r == nil || r.Name != "b" || v != 7 {
+		t.Fatalf("Trigger = %+v, %v", r, v)
+	}
+	if r, _ := d.Trigger([]float64{0, 0}); r != nil {
+		t.Fatalf("spurious trigger %+v", r)
+	}
+}
+
+func TestOutOfRangeIndexIgnored(t *testing.T) {
+	d := New([]Rule{{Index: 9, Limit: 1, Above: true}})
+	if d.Predict([]float64{100}) {
+		t.Fatal("out-of-range rule fired")
+	}
+}
+
+func TestRulesCopied(t *testing.T) {
+	rules := []Rule{{Index: 0, Limit: 10, Above: true}}
+	d := New(rules)
+	rules[0].Limit = 0
+	if d.Predict([]float64{5}) {
+		t.Fatal("detector shares caller's rule slice")
+	}
+	if d.NumRules() != 1 || d.String() == "" {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,262 @@
+// Package orfdisk is an online-learning disk failure predictor for data
+// centers, reproducing Xiao et al., "Disk Failure Prediction in Data
+// Centers via Online Learning" (ICPP 2018).
+//
+// The heart of the library is Predictor, which implements the paper's
+// Algorithm 2 end to end over a stream of daily SMART snapshots:
+//
+//   - min-max feature scaling maintained online (Eq. 5);
+//   - the automatic online label method: each disk's recent samples wait
+//     in a fixed-length queue until the disk either survives the
+//     prediction horizon (negative) or fails (positive);
+//   - an Online Random Forest (Algorithm 1) with two-Poisson online
+//     bagging for class imbalance, Gini-driven online tree growth, and
+//     OOBE-triggered replacement of outdated trees;
+//   - a live risk prediction for every arriving snapshot.
+//
+// Supporting packages under internal/ provide the evaluation substrate:
+// a Backblaze-like fleet simulator, offline RF/DT/SVM/NB baselines, the
+// Wilcoxon feature-selection pipeline and the paper's experiment
+// protocols. The cmd/orfexp binary regenerates every table and figure of
+// the paper's evaluation section.
+package orfdisk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"orfdisk/internal/core"
+	"orfdisk/internal/labeling"
+	"orfdisk/internal/smart"
+)
+
+// ORFConfig re-exports the online random forest hyper-parameters
+// (Algorithm 1). The zero value selects the paper's defaults: T=30 trees,
+// alpha=200, beta=0.1, lambda_p=1, lambda_n=0.02.
+type ORFConfig = core.Config
+
+// Observation is one daily SMART snapshot of one disk, the Predictor's
+// input unit.
+type Observation struct {
+	// Serial uniquely identifies the disk.
+	Serial string
+	// Day is the acquisition day (any monotonically increasing integer
+	// clock shared by the fleet).
+	Day int
+	// Failed marks the disk's final report: the disk was diagnosed
+	// failed when this snapshot was taken.
+	Failed bool
+	// Values holds the full candidate feature vector in catalog order;
+	// see CatalogSize and FeatureNames. Build it with PackValues or from
+	// a Backblaze CSV via internal/smart.Reader.
+	Values []float64
+}
+
+// Prediction is the Predictor's output for one observation.
+type Prediction struct {
+	Serial string
+	Day    int
+	// Score is the forest's failure probability for this snapshot
+	// (NaN for failure events, which produce no prediction).
+	Score float64
+	// Risky reports Score >= the alarm threshold: the paper recommends
+	// immediate data migration when set.
+	Risky bool
+	// Final marks a failure event (the disk left the fleet).
+	Final bool
+}
+
+// Config configures a Predictor.
+type Config struct {
+	// Features are catalog indexes of the model inputs; nil selects the
+	// paper's 19 features (Table 2).
+	Features []int
+	// ORF holds the forest hyper-parameters (zero = paper defaults).
+	ORF ORFConfig
+	// Horizon is the prediction window in days (and the per-disk queue
+	// length); 0 selects the paper's 7.
+	Horizon int
+	// Threshold is the alarm probability threshold; 0 selects 0.5.
+	Threshold float64
+}
+
+// Predictor runs the paper's online learning pipeline. Not safe for
+// concurrent use; wrap with a mutex or shard by disk if needed.
+type Predictor struct {
+	features  []int
+	scaler    *smart.Scaler
+	labeler   *labeling.Labeler
+	forest    *core.Forest
+	threshold float64
+	horizon   int
+	scaled    []float64 // scratch buffer
+}
+
+// NewPredictor creates a Predictor.
+func NewPredictor(cfg Config) *Predictor {
+	features := cfg.Features
+	if len(features) == 0 {
+		features = smart.SelectedIndexes()
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = smart.PredictionHorizonDays
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	p := &Predictor{
+		features:  features,
+		scaler:    smart.NewScaler(len(features)),
+		forest:    core.New(len(features), cfg.ORF),
+		threshold: threshold,
+		horizon:   horizon,
+		scaled:    make([]float64, len(features)),
+	}
+	// Queued samples are stored raw and scaled at release time, so label
+	// releases always use the freshest feature ranges.
+	p.labeler = labeling.NewLabeler(horizon, func(s labeling.Labeled) {
+		y := 0
+		if s.Y == smart.Positive {
+			y = 1
+		}
+		p.forest.Update(p.scaler.Transform(s.X, p.scaled), y)
+	})
+	return p
+}
+
+// Ingest processes one observation per Algorithm 2: it updates the model
+// with whatever the labeling queues release, then (for operating disks)
+// returns the live risk prediction for the new snapshot.
+func (p *Predictor) Ingest(obs Observation) (Prediction, error) {
+	if len(obs.Values) != smart.NumFeatures() {
+		return Prediction{}, fmt.Errorf(
+			"orfdisk: observation carries %d values, want the %d-feature catalog",
+			len(obs.Values), smart.NumFeatures())
+	}
+	x := smart.Project(obs.Values, p.features)
+	p.scaler.Observe(x)
+
+	if obs.Failed {
+		// Disk D_i failed: label its queue positive and update (Alg. 2
+		// lines 2-8). No prediction is made for a dead disk.
+		p.labeler.Observe(obs.Serial, x, obs.Day)
+		p.labeler.Fail(obs.Serial)
+		return Prediction{Serial: obs.Serial, Day: obs.Day, Score: math.NaN(), Final: true}, nil
+	}
+
+	// Operating disk: rotate the queue (possibly releasing the oldest
+	// sample as negative), then predict on the fresh snapshot. Alarms
+	// are suppressed until the forest has absorbed at least one positive
+	// sample: an untrained ensemble outputs the 0.5 prior for
+	// everything, which would alarm the whole fleet on day one.
+	p.labeler.Observe(obs.Serial, x, obs.Day)
+	score := p.forest.PredictProba(p.scaler.Transform(x, p.scaled))
+	return Prediction{
+		Serial: obs.Serial,
+		Day:    obs.Day,
+		Score:  score,
+		Risky:  score >= p.threshold && p.forest.Stats().PosSeen > 0,
+	}, nil
+}
+
+// Retire drops a disk that left the fleet without failing (e.g. planned
+// decommission). Its queued samples are discarded unlabeled.
+func (p *Predictor) Retire(serial string) { p.labeler.Retire(serial) }
+
+// Score returns the current failure probability for a raw catalog vector
+// without updating any state.
+func (p *Predictor) Score(values []float64) (float64, error) {
+	if len(values) != smart.NumFeatures() {
+		return 0, fmt.Errorf("orfdisk: %d values, want %d", len(values), smart.NumFeatures())
+	}
+	x := smart.Project(values, p.features)
+	return p.forest.PredictProba(p.scaler.Transform(x, p.scaled)), nil
+}
+
+// SetThreshold changes the alarm threshold (e.g. after calibrating to a
+// FAR budget).
+func (p *Predictor) SetThreshold(t float64) { p.threshold = t }
+
+// Threshold returns the current alarm threshold.
+func (p *Predictor) Threshold() float64 { return p.threshold }
+
+// Horizon returns the prediction window in days.
+func (p *Predictor) Horizon() int { return p.horizon }
+
+// Stats reports the underlying forest's state.
+func (p *Predictor) Stats() core.Stats { return p.forest.Stats() }
+
+// FeatureImportance is one of the paper's stated ORF advantages: the
+// model is interpretable and "can be used to reveal the real cause of
+// disk failures". It returns the features the forest's splits currently
+// rely on, most important first.
+type FeatureImportance struct {
+	Feature    string  // canonical name, e.g. "smart_187_raw"
+	Label      string  // human-readable, e.g. "Reported Uncorrectable Errors (Raw)"
+	Importance float64 // normalized; all entries sum to <= 1
+}
+
+// FeatureImportance returns the model's current per-feature importance,
+// sorted descending. Zero-importance features are omitted.
+func (p *Predictor) FeatureImportance() []FeatureImportance {
+	imp := p.forest.FeatureImportance()
+	out := make([]FeatureImportance, 0, len(imp))
+	for i, v := range imp {
+		if v == 0 {
+			continue
+		}
+		f := smart.Catalog()[p.features[i]]
+		out = append(out, FeatureImportance{
+			Feature:    f.Name(),
+			Label:      f.Label(),
+			Importance: v,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Importance > out[b].Importance })
+	return out
+}
+
+// PendingSamples returns the number of queued, not-yet-labeled samples.
+func (p *Predictor) PendingSamples() int { return p.labeler.Pending() }
+
+// TrackedDisks returns the number of disks with live queues.
+func (p *Predictor) TrackedDisks() int { return p.labeler.ActiveDisks() }
+
+// CatalogSize returns the length of the full candidate feature vector an
+// Observation must carry.
+func CatalogSize() int { return smart.NumFeatures() }
+
+// FeatureNames returns the catalog's canonical column names
+// ("smart_5_raw", ...), index-aligned with Observation.Values.
+func FeatureNames() []string {
+	names := make([]string, smart.NumFeatures())
+	for i, f := range smart.Catalog() {
+		names[i] = f.Name()
+	}
+	return names
+}
+
+// DefaultFeatures returns the catalog indexes of the paper's 19 selected
+// features (Table 2).
+func DefaultFeatures() []int { return smart.SelectedIndexes() }
+
+// PackValues builds a catalog vector from attribute readings. Each key
+// is a SMART attribute ID; norm and raw supply the two values. Missing
+// attributes stay zero.
+func PackValues(norm, raw map[int]float64) []float64 {
+	v := make([]float64, smart.NumFeatures())
+	for id, val := range norm {
+		if i := smart.FeatureIndex(id, smart.Norm); i >= 0 {
+			v[i] = val
+		}
+	}
+	for id, val := range raw {
+		if i := smart.FeatureIndex(id, smart.Raw); i >= 0 {
+			v[i] = val
+		}
+	}
+	return v
+}

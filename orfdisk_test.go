@@ -1,0 +1,224 @@
+package orfdisk
+
+import (
+	"math"
+	"testing"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+func smallFleet(t testing.TB, seed uint64) *dataset.Generator {
+	t.Helper()
+	p := dataset.STA(1)
+	p.GoodDisks = 150
+	p.FailedDisks = 40
+	p.Months = 10
+	g, err := dataset.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPredictorEndToEnd(t *testing.T) {
+	g := smallFleet(t, 1)
+	p := NewPredictor(Config{ORF: ORFConfig{Trees: 15, MinParentSize: 60, Seed: 2}})
+
+	// Feed the whole fleet chronologically; collect every alarm day.
+	alarmDays := map[string][]int{}
+	err := g.Stream(func(s smart.Sample) error {
+		pred, err := p.Ingest(Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		if err != nil {
+			return err
+		}
+		if pred.Risky {
+			alarmDays[s.Serial] = append(alarmDays[s.Serial], s.Day)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count disk-level detections among failures in the second half of
+	// the stream (after the model had time to converge). A failed disk
+	// counts as detected if any of its last two weeks alarmed.
+	half := g.Profile().Days() / 2
+	var lateFailures, detected int
+	var goodAlarms, goodDisks int
+	for _, m := range g.Disks() {
+		if m.Failed {
+			if m.FailDay >= half {
+				lateFailures++
+				for _, day := range alarmDays[m.Serial] {
+					if day > m.FailDay-14 {
+						detected++
+						break
+					}
+				}
+			}
+		} else {
+			goodDisks++
+			// Judge good disks on the converged second half too.
+			for _, day := range alarmDays[m.Serial] {
+				if day >= half {
+					goodAlarms++
+					break
+				}
+			}
+		}
+	}
+	if lateFailures == 0 {
+		t.Skip("no late failures at this scale")
+	}
+	fdr := float64(detected) / float64(lateFailures)
+	far := float64(goodAlarms) / float64(goodDisks)
+	if fdr < 0.5 {
+		t.Fatalf("late-stream FDR %.2f too low (detected %d/%d)", fdr, detected, lateFailures)
+	}
+	if far > 0.3 {
+		t.Fatalf("good-disk alarm fraction %.2f too high (%d/%d)", far, goodAlarms, goodDisks)
+	}
+	if p.Stats().PosSeen == 0 {
+		t.Fatal("no positive samples reached the forest")
+	}
+}
+
+func TestIngestRejectsWrongWidth(t *testing.T) {
+	p := NewPredictor(Config{})
+	if _, err := p.Ingest(Observation{Serial: "x", Values: []float64{1, 2}}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	if _, err := p.Score([]float64{1}); err == nil {
+		t.Fatal("short vector accepted by Score")
+	}
+}
+
+func TestFailureEventProducesFinalPrediction(t *testing.T) {
+	p := NewPredictor(Config{ORF: ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, CatalogSize())
+	pred, err := p.Ingest(Observation{Serial: "d", Day: 0, Failed: true, Values: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Final || !math.IsNaN(pred.Score) {
+		t.Fatalf("failure event prediction %+v", pred)
+	}
+	if p.TrackedDisks() != 0 {
+		t.Fatal("failed disk still tracked")
+	}
+}
+
+func TestQueueReleasesAfterHorizon(t *testing.T) {
+	p := NewPredictor(Config{Horizon: 3, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, CatalogSize())
+	for day := 0; day < 10; day++ {
+		if _, err := p.Ingest(Observation{Serial: "d", Day: day, Values: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 samples, queue depth 3: 7 negatives released.
+	if got := p.Stats().NegSeen; got != 7 {
+		t.Fatalf("forest saw %d negatives, want 7", got)
+	}
+	if p.PendingSamples() != 3 {
+		t.Fatalf("pending %d, want 3", p.PendingSamples())
+	}
+}
+
+func TestRetireDropsQueueSilently(t *testing.T) {
+	p := NewPredictor(Config{Horizon: 5, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, CatalogSize())
+	for day := 0; day < 3; day++ {
+		_, _ = p.Ingest(Observation{Serial: "d", Day: day, Values: v})
+	}
+	p.Retire("d")
+	if p.TrackedDisks() != 0 || p.Stats().Updates != 0 {
+		t.Fatal("retire leaked samples into the model")
+	}
+}
+
+func TestThresholdAccessors(t *testing.T) {
+	p := NewPredictor(Config{})
+	if p.Threshold() != 0.5 {
+		t.Fatalf("default threshold %v", p.Threshold())
+	}
+	p.SetThreshold(0.8)
+	if p.Threshold() != 0.8 {
+		t.Fatal("SetThreshold ignored")
+	}
+	if p.Horizon() != smart.PredictionHorizonDays {
+		t.Fatalf("default horizon %d", p.Horizon())
+	}
+}
+
+func TestPackValuesAndCatalogHelpers(t *testing.T) {
+	if CatalogSize() != 48 {
+		t.Fatalf("catalog size %d", CatalogSize())
+	}
+	names := FeatureNames()
+	if len(names) != 48 || names[0] == "" {
+		t.Fatalf("bad feature names %v", names[:2])
+	}
+	if len(DefaultFeatures()) != 19 {
+		t.Fatalf("%d default features", len(DefaultFeatures()))
+	}
+	v := PackValues(map[int]float64{187: 90}, map[int]float64{187: 12, 9999: 1})
+	if v[smart.FeatureIndex(187, smart.Norm)] != 90 ||
+		v[smart.FeatureIndex(187, smart.Raw)] != 12 {
+		t.Fatal("PackValues misplaced attribute 187")
+	}
+}
+
+func TestIngestToleratesNaNValues(t *testing.T) {
+	p := NewPredictor(Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, CatalogSize())
+	for i := range v {
+		if i%3 == 0 {
+			v[i] = math.NaN() // sensors do drop readings
+		} else {
+			v[i] = float64(i)
+		}
+	}
+	for day := 0; day < 10; day++ {
+		pred, err := p.Ingest(Observation{Serial: "nan", Day: day, Values: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pred.Final && (math.IsNaN(pred.Score) || pred.Score < 0 || pred.Score > 1) {
+			t.Fatalf("day %d: score %v not a probability", day, pred.Score)
+		}
+	}
+	if p.Stats().Updates == 0 {
+		t.Fatal("NaN-bearing samples never reached the model")
+	}
+}
+
+func TestPredictorFeatureImportance(t *testing.T) {
+	g := smallFleet(t, 5)
+	p := NewPredictor(Config{ORF: ORFConfig{Trees: 10, MinParentSize: 60, Seed: 6}})
+	err := g.Stream(func(s smart.Sample) error {
+		_, err := p.Ingest(Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := p.FeatureImportance()
+	if len(imp) == 0 {
+		t.Fatal("no feature importance after a full stream")
+	}
+	for i := 1; i < len(imp); i++ {
+		if imp[i].Importance > imp[i-1].Importance {
+			t.Fatal("importance not sorted descending")
+		}
+	}
+	if imp[0].Feature == "" || imp[0].Label == "" {
+		t.Fatalf("unnamed top feature: %+v", imp[0])
+	}
+}

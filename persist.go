@@ -1,0 +1,154 @@
+package orfdisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"orfdisk/internal/core"
+	"orfdisk/internal/labeling"
+	"orfdisk/internal/smart"
+)
+
+// Model persistence. SaveModel captures everything needed to keep
+// predicting and learning after a process restart: the forest (including
+// its RNG streams, so the resumed stream is bit-identical), the online
+// scaler's feature ranges, the feature selection, the horizon and the
+// alarm threshold.
+//
+// Per-disk labeling queues are NOT saved: they hold at most one week of
+// raw samples per disk, and after a restart the daemon simply rebuilds
+// them from the live stream — at worst one week of healthy samples per
+// disk goes unlabeled, which is negligible against months of history.
+
+const predictorMagic = "ODP1"
+
+// SaveModel serializes the predictor's model state to w.
+func (p *Predictor) SaveModel(w io.Writer) error {
+	if _, err := io.WriteString(w, predictorMagic); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	if err := writeU64(uint64(p.horizon)); err != nil {
+		return err
+	}
+	if err := writeU64(math.Float64bits(p.threshold)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(len(p.features))); err != nil {
+		return err
+	}
+	for _, f := range p.features {
+		if err := writeU64(uint64(f)); err != nil {
+			return err
+		}
+	}
+	min, max := p.scaler.Snapshot()
+	for _, v := range min {
+		if err := writeU64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	for _, v := range max {
+		if err := writeU64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	_, err := p.forest.WriteTo(w)
+	return err
+}
+
+// LoadPredictor reconstructs a predictor saved with SaveModel. Labeling
+// queues start empty; feed the live stream as usual.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	head := make([]byte, len(predictorMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("orfdisk: reading model header: %w", err)
+	}
+	if string(head) != predictorMagic {
+		return nil, fmt.Errorf("orfdisk: bad model magic %q", head)
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	horizon, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+	}
+	thBits, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+	}
+	nFeat, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+	}
+	if nFeat == 0 || nFeat > uint64(smart.NumFeatures()) {
+		return nil, fmt.Errorf("orfdisk: corrupt model (%d features)", nFeat)
+	}
+	features := make([]int, nFeat)
+	for i := range features {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+		}
+		if v >= uint64(smart.NumFeatures()) {
+			return nil, fmt.Errorf("orfdisk: corrupt model (feature index %d)", v)
+		}
+		features[i] = int(v)
+	}
+	min := make([]float64, nFeat)
+	max := make([]float64, nFeat)
+	for i := range min {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+		}
+		min[i] = math.Float64frombits(v)
+	}
+	for i := range max {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("orfdisk: reading model: %w", err)
+		}
+		max[i] = math.Float64frombits(v)
+	}
+	forest, err := core.ReadForest(r)
+	if err != nil {
+		return nil, err
+	}
+	if forest.Dim() != int(nFeat) {
+		return nil, fmt.Errorf("orfdisk: corrupt model (forest dim %d, %d features)",
+			forest.Dim(), nFeat)
+	}
+
+	p := &Predictor{
+		features:  features,
+		scaler:    smart.NewScaler(int(nFeat)),
+		forest:    forest,
+		threshold: math.Float64frombits(thBits),
+		horizon:   int(horizon),
+		scaled:    make([]float64, nFeat),
+	}
+	if err := p.scaler.Restore(min, max); err != nil {
+		return nil, err
+	}
+	p.labeler = labeling.NewLabeler(p.horizon, func(s labeling.Labeled) {
+		y := 0
+		if s.Y == smart.Positive {
+			y = 1
+		}
+		p.forest.Update(p.scaler.Transform(s.X, p.scaled), y)
+	})
+	return p, nil
+}

@@ -1,0 +1,95 @@
+package orfdisk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"orfdisk/internal/smart"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	g := smallFleet(t, 3)
+	p := NewPredictor(Config{ORF: ORFConfig{Trees: 10, MinParentSize: 50, Seed: 4}})
+	err := g.Stream(func(s smart.Sample) error {
+		_, err := p.Ingest(Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetThreshold(0.62)
+
+	var buf bytes.Buffer
+	if err := p.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Threshold() != 0.62 || q.Horizon() != p.Horizon() {
+		t.Fatalf("settings not restored: threshold %v horizon %d", q.Threshold(), q.Horizon())
+	}
+	if q.Stats() != p.Stats() {
+		t.Fatalf("forest stats differ:\n%+v\n%+v", q.Stats(), p.Stats())
+	}
+	// Scores must be identical on fresh observations.
+	for _, m := range g.Disks()[:20] {
+		ss := g.DiskSamples(m)
+		last := ss[len(ss)-1]
+		sp, err1 := p.Score(last.Values)
+		sq, err2 := q.Score(last.Values)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if sp != sq {
+			t.Fatalf("scores differ after reload: %v vs %v", sp, sq)
+		}
+	}
+}
+
+func TestLoadedPredictorKeepsLearning(t *testing.T) {
+	p := NewPredictor(Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	v := make([]float64, CatalogSize())
+	for day := 0; day < 5; day++ {
+		if _, err := p.Ingest(Observation{Serial: "d", Day: day, Values: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := q.Stats().Updates
+	// Queues are empty after load; two ingests fill the horizon-2 queue,
+	// the third releases a negative into the forest.
+	for day := 5; day < 8; day++ {
+		if _, err := q.Ingest(Observation{Serial: "d", Day: day, Values: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Stats().Updates != before+1 {
+		t.Fatalf("loaded predictor did not resume learning: %d -> %d",
+			before, q.Stats().Updates)
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "WHAT????????????",
+		"truncated": "ODP1\x01\x02",
+	}
+	for name, data := range cases {
+		if _, err := LoadPredictor(strings.NewReader(data)); err == nil {
+			t.Errorf("%s model accepted", name)
+		}
+	}
+}

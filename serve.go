@@ -1,0 +1,172 @@
+package orfdisk
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server wraps a Fleet behind an HTTP API, the deployment form a data
+// center would actually run: collectors POST daily SMART snapshots, the
+// server updates the per-model online forests and answers with the live
+// risk prediction. All mutation is serialized by an internal mutex, so
+// the handler is safe for concurrent requests.
+//
+// Endpoints:
+//
+//	POST /v1/observe   {serial, model, day, failed, norm:{id:val}, raw:{id:val}}
+//	                   -> {serial, day, score, risky, final}
+//	POST /v1/retire    {serial}
+//	GET  /v1/stats     -> per-model forest statistics
+//	GET  /v1/importance?model=M -> ranked feature importance
+//	GET  /healthz      -> 200 ok
+type Server struct {
+	mu    sync.Mutex
+	fleet *Fleet
+}
+
+// NewServer creates a Server around a fresh Fleet with the given
+// predictor configuration.
+func NewServer(cfg Config) *Server {
+	return &Server{fleet: NewFleet(cfg)}
+}
+
+// ObservationRequest is the POST /v1/observe payload.
+type ObservationRequest struct {
+	Serial string          `json:"serial"`
+	Model  string          `json:"model"`
+	Day    int             `json:"day"`
+	Failed bool            `json:"failed"`
+	Norm   map[int]float64 `json:"norm"`
+	Raw    map[int]float64 `json:"raw"`
+	// Values optionally supplies the full 48-feature catalog vector
+	// directly, overriding Norm/Raw.
+	Values []float64 `json:"values,omitempty"`
+}
+
+// PredictionResponse is the POST /v1/observe reply.
+type PredictionResponse struct {
+	Serial string  `json:"serial"`
+	Day    int     `json:"day"`
+	Score  float64 `json:"score"`
+	Risky  bool    `json:"risky"`
+	Final  bool    `json:"final"`
+}
+
+// Handler returns the http.Handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("POST /v1/retire", s.handleRetire)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/importance", s.handleImportance)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObservationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Serial == "" {
+		http.Error(w, "bad request: missing serial", http.StatusBadRequest)
+		return
+	}
+	values := req.Values
+	if values == nil {
+		values = PackValues(req.Norm, req.Raw)
+	}
+	obs := FleetObservation{
+		Model: req.Model,
+		Observation: Observation{
+			Serial: req.Serial, Day: req.Day, Failed: req.Failed, Values: values,
+		},
+	}
+	s.mu.Lock()
+	pred, err := s.fleet.Ingest(obs)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := PredictionResponse{
+		Serial: pred.Serial, Day: pred.Day, Risky: pred.Risky, Final: pred.Final,
+	}
+	if !pred.Final { // NaN is not valid JSON
+		resp.Score = pred.Score
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Serial string `json:"serial"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Serial == "" {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.fleet.Retire(req.Serial)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ModelStats is one model's entry in GET /v1/stats.
+type ModelStats struct {
+	Model    string `json:"model"`
+	Updates  int64  `json:"updates"`
+	PosSeen  int64  `json:"positives_seen"`
+	NegSeen  int64  `json:"negatives_seen"`
+	Replaced int64  `json:"trees_replaced"`
+	Nodes    int    `json:"nodes"`
+	Tracked  int    `json:"tracked_disks"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var out []ModelStats
+	for _, model := range s.fleet.Models() {
+		p := s.fleet.Predictor(model)
+		st := p.Stats()
+		out = append(out, ModelStats{
+			Model:    model,
+			Updates:  st.Updates,
+			PosSeen:  st.PosSeen,
+			NegSeen:  st.NegSeen,
+			Replaced: st.Replaced,
+			Nodes:    st.Nodes,
+			Tracked:  p.TrackedDisks(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	s.mu.Lock()
+	p := s.fleet.Predictor(model)
+	var imp []FeatureImportance
+	if p != nil {
+		imp = p.FeatureImportance()
+	}
+	s.mu.Unlock()
+	if p == nil {
+		http.Error(w, "unknown model", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, imp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,200 @@
+package orfdisk
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := NewServer(Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestServerObserveAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	for day := 0; day < 5; day++ {
+		resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+			Serial: "d1", Model: "ST4000", Day: day,
+			Norm: map[int]float64{187: 100}, Raw: map[int]float64{187: 0},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe status %d", resp.StatusCode)
+		}
+		var pred PredictionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+			t.Fatal(err)
+		}
+		if pred.Serial != "d1" || pred.Day != day || pred.Final {
+			t.Fatalf("prediction %+v", pred)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats []ModelStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Model != "ST4000" {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Horizon 2, 5 observations -> 3 released negatives.
+	if stats[0].NegSeen != 3 || stats[0].Tracked != 1 {
+		t.Fatalf("stats %+v", stats[0])
+	}
+}
+
+func TestServerFailureEvent(t *testing.T) {
+	ts := newTestServer(t)
+	for day := 0; day < 3; day++ {
+		postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+			Serial: "d1", Model: "M", Day: day,
+		})
+	}
+	resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+		Serial: "d1", Model: "M", Day: 3, Failed: true,
+	})
+	var pred PredictionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Final || pred.Score != 0 {
+		t.Fatalf("failure prediction %+v", pred)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts := newTestServer(t)
+	// Missing serial.
+	if resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Model: "M"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing serial -> %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON -> %d", resp.StatusCode)
+	}
+	// Unknown disk without model.
+	if resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Serial: "ghost"}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("missing model -> %d", resp.StatusCode)
+	}
+	// Wrong-width explicit values.
+	if resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+		Serial: "x", Model: "M", Values: []float64{1, 2},
+	}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short values -> %d", resp.StatusCode)
+	}
+}
+
+func TestServerRetire(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Serial: "d1", Model: "M", Day: 0})
+	resp := postJSON(t, ts.URL+"/v1/retire", map[string]string{"serial": "d1"})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("retire -> %d", resp.StatusCode)
+	}
+	var stats []ModelStats
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Tracked != 0 {
+		t.Fatalf("retired disk still tracked: %+v", stats)
+	}
+}
+
+func TestServerImportance(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Serial: "d1", Model: "M", Day: 0})
+	resp, err := http.Get(ts.URL + "/v1/importance?model=M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("importance -> %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/importance?model=NOPE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model -> %d", resp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz -> %d", resp.StatusCode)
+	}
+}
+
+func TestServerConcurrentObserve(t *testing.T) {
+	ts := newTestServer(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var firstErr error
+			for day := 0; day < 30; day++ {
+				body, _ := json.Marshal(ObservationRequest{
+					Serial: fmt.Sprintf("disk-%d", g), Model: "M", Day: day,
+				})
+				r, err := http.Post(ts.URL+"/v1/observe", "application/json",
+					bytes.NewReader(body))
+				if err != nil {
+					firstErr = err
+					break
+				}
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK && firstErr == nil {
+					firstErr = fmt.Errorf("status %d", r.StatusCode)
+				}
+			}
+			done <- firstErr
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
