@@ -1,0 +1,31 @@
+# Developer / CI entry points. `make check` is the full gate.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-engine bench fmt
+
+check: vet build test race bench-engine
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run the mutex-vs-shards ingest comparison (one iteration per
+# sub-benchmark). Run with a larger -benchtime on multi-core hardware to
+# see the shard scaling; a single-core machine can only show overhead.
+bench-engine:
+	$(GO) test -run=NONE -bench=BenchmarkEngineIngest -benchtime=1x .
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .

@@ -1,10 +1,19 @@
 // Command orfserve runs the online disk-failure prediction service: an
-// HTTP API around a per-model fleet of online random forests. SMART
-// collectors POST daily snapshots; the service learns continuously (no
-// retraining jobs, no training pipelines) and answers every snapshot
-// with a live risk prediction.
+// HTTP API over a sharded serving engine — one worker goroutine per
+// drive model, each owning its online random forest. SMART collectors
+// POST daily snapshots; the service learns continuously (no retraining
+// jobs, no training pipelines) and answers every snapshot with a live
+// risk prediction.
 //
-//	orfserve -addr :8080
+// With -data the engine is crash-safe: every observation is appended to
+// a write-ahead log before it is applied, and periodic per-model
+// snapshots bound recovery time. On restart the engine loads the newest
+// snapshots and replays the WAL suffix, resuming the exact learned
+// state. SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// finish, mailboxes drain, a final snapshot is taken, and the process
+// exits 0.
+//
+//	orfserve -addr :8080 -data /var/lib/orfserve -snapshot-every 1m
 //
 //	curl -s localhost:8080/v1/observe -d '{
 //	  "serial":"Z302T4N9","model":"ST4000DM000","day":812,
@@ -13,15 +22,21 @@
 //	}'
 //	-> {"serial":"Z302T4N9","day":812,"score":0.11,"risky":false,"final":false}
 //
+//	curl -s localhost:8080/v1/observe/batch -d '{"observations":[...]}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/models
 //	curl -s 'localhost:8080/v1/importance?model=ST4000DM000'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"orfdisk"
@@ -34,23 +49,64 @@ func main() {
 		lambdaN   = flag.Float64("lambdan", 0.02, "negative-class Poisson rate λn")
 		threshold = flag.Float64("threshold", 0.5, "alarm probability threshold")
 		horizon   = flag.Int("horizon", 7, "prediction window in days")
+		dataDir   = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		snapEvery = flag.Duration("snapshot-every", time.Minute, "snapshot interval (with -data)")
+		mailbox   = flag.Int("mailbox", 256, "per-model shard mailbox capacity")
 	)
 	flag.Parse()
 
-	srv := orfdisk.NewServer(orfdisk.Config{
-		Threshold: *threshold,
-		Horizon:   *horizon,
-		ORF:       orfdisk.ORFConfig{Trees: *trees, LambdaNeg: *lambdaN},
+	eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{
+		Predictor: orfdisk.Config{
+			Threshold: *threshold,
+			Horizon:   *horizon,
+			ORF:       orfdisk.ORFConfig{Trees: *trees, LambdaNeg: *lambdaN},
+		},
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
+		Mailbox:       *mailbox,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orfserve: recovery failed:", err)
+		os.Exit(1)
+	}
+	srv := orfdisk.NewServerWithEngine(eng)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "orfserve: listening on %s (T=%d, λn=%g, threshold=%g, horizon=%dd)\n",
-		*addr, *trees, *lambdaN, *threshold, *horizon)
-	if err := httpSrv.ListenAndServe(); err != nil {
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "orfserve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "orfserve: shutdown:", err)
+		}
+	}()
+
+	durable := *dataDir
+	if durable == "" {
+		durable = "disabled"
+	}
+	fmt.Fprintf(os.Stderr,
+		"orfserve: listening on %s (T=%d, λn=%g, threshold=%g, horizon=%dd, durability=%s)\n",
+		*addr, *trees, *lambdaN, *threshold, *horizon, durable)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "orfserve:", err)
 		os.Exit(1)
 	}
+	<-shutdownDone
+	// Drain shard mailboxes, take the final snapshot, close the WAL.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "orfserve: close:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "orfserve: clean shutdown")
 }

@@ -1,0 +1,688 @@
+package orfdisk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"orfdisk/internal/engine"
+	"orfdisk/internal/wal"
+)
+
+// Engine is the durable sharded serving core: each drive model gets a
+// dedicated worker goroutine owning its Predictor (the paper's per-model
+// independence, §4.1, made into the concurrency unit), fed by a bounded
+// mailbox. Requests for different models never contend; requests for one
+// model are serialized by its worker, so predictors need no locking.
+//
+// With a DataDir, the engine is crash-safe: every mutation is recorded
+// in a write-ahead log before it is applied, and periodic per-model
+// snapshots (atomic temp-file + rename, capturing the model AND the
+// labeling queues) bound replay time. Recovery loads the newest
+// snapshots and replays the WAL suffix; because predictor serialization
+// includes the RNG streams, the recovered engine continues the exact
+// stream an uninterrupted run would have produced.
+//
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg  EngineConfig
+	pool *engine.Pool[*shardState]
+	wal  *wal.WAL
+
+	mu      sync.RWMutex
+	modelOf map[string]string // serial -> drive model routing memory
+
+	// recovered seeds the shard factory during and after startup
+	// recovery; read-only once NewEngine returns.
+	recovered map[string]*shardState
+
+	snapMu  sync.Mutex
+	snapped map[string]uint64 // last snapshotted WAL seq per model
+
+	stop      chan struct{}
+	tickDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ErrBusy reports that a shard's mailbox stayed full past the enqueue
+// timeout; callers should shed the request (HTTP 503).
+var ErrBusy = engine.ErrBusy
+
+// EngineConfig configures NewEngine. Zero values select defaults.
+type EngineConfig struct {
+	// Predictor configures each per-model predictor.
+	Predictor Config
+	// DataDir enables durability: it holds per-model snapshots plus a
+	// "wal" subdirectory. Empty means in-memory only (state is lost on
+	// restart, exactly like the pre-engine Server).
+	DataDir string
+	// Mailbox is the per-model queue capacity (default 256).
+	Mailbox int
+	// EnqueueTimeout bounds how long an ingest blocks on a full
+	// mailbox before failing with ErrBusy (default 50 ms).
+	EnqueueTimeout time.Duration
+	// SnapshotEvery, if positive and DataDir is set, snapshots all
+	// models on this interval (in addition to the final snapshot taken
+	// by Close).
+	SnapshotEvery time.Duration
+	// SegmentBytes, SyncEvery and SyncInterval tune the WAL (see
+	// internal/wal.Options); zero selects its defaults.
+	SegmentBytes int64
+	SyncEvery    int
+	SyncInterval time.Duration
+}
+
+type shardState struct {
+	p *Predictor
+	// lastSeq is the WAL sequence number of the last record applied to
+	// this shard. Only the shard's worker touches it.
+	lastSeq uint64
+}
+
+// NewEngine creates an engine, running crash recovery first when
+// cfg.DataDir is set.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	e := &Engine{
+		cfg:       cfg,
+		modelOf:   make(map[string]string),
+		recovered: make(map[string]*shardState),
+		snapped:   make(map[string]uint64),
+	}
+	e.pool = engine.New(engine.Config{
+		Mailbox:        cfg.Mailbox,
+		EnqueueTimeout: cfg.EnqueueTimeout,
+	}, e.newShard)
+	if cfg.DataDir != "" {
+		if err := e.recover(); err != nil {
+			e.pool.Close()
+			if e.wal != nil {
+				e.wal.Close()
+			}
+			return nil, err
+		}
+		if cfg.SnapshotEvery > 0 {
+			e.stop = make(chan struct{})
+			e.tickDone = make(chan struct{})
+			go e.snapshotLoop(cfg.SnapshotEvery)
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) newShard(model string) *shardState {
+	if st, ok := e.recovered[model]; ok {
+		return st
+	}
+	return &shardState{p: NewPredictor(e.cfg.Predictor)}
+}
+
+func (e *Engine) snapshotLoop(every time.Duration) {
+	defer close(e.tickDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			// Best effort; the next tick (or Close) retries, and an
+			// unsnapshotted suffix stays covered by the WAL.
+			e.Snapshot() //nolint:errcheck
+		}
+	}
+}
+
+// resolveModel fills in obs.Model from the engine's routing memory (and
+// records first-seen routes), mirroring Fleet.Ingest's rules.
+func (e *Engine) resolveModel(obs *FleetObservation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if obs.Model == "" {
+		known, ok := e.modelOf[obs.Serial]
+		if !ok {
+			return fmt.Errorf("orfdisk: observation for %q has no model", obs.Serial)
+		}
+		obs.Model = known
+	} else if prev, ok := e.modelOf[obs.Serial]; ok && prev != obs.Model {
+		return fmt.Errorf("orfdisk: disk %q changed model %q -> %q", obs.Serial, prev, obs.Model)
+	}
+	e.modelOf[obs.Serial] = obs.Model
+	return nil
+}
+
+func (e *Engine) validate(obs FleetObservation) error {
+	if obs.Serial == "" {
+		return fmt.Errorf("orfdisk: observation has no serial")
+	}
+	if len(obs.Values) != CatalogSize() {
+		return fmt.Errorf("orfdisk: observation carries %d values, want the %d-feature catalog",
+			len(obs.Values), CatalogSize())
+	}
+	return nil
+}
+
+// apply logs and applies one observation on its shard's worker.
+func (e *Engine) apply(s *shardState, obs FleetObservation) (Prediction, error) {
+	if e.wal != nil {
+		seq, err := e.wal.Append(encodeObserveRecord(obs))
+		if err != nil {
+			return Prediction{}, err
+		}
+		s.lastSeq = seq
+	}
+	pred, err := s.p.Ingest(obs.Observation)
+	if err != nil {
+		return pred, err
+	}
+	if obs.Failed {
+		e.mu.Lock()
+		delete(e.modelOf, obs.Serial)
+		e.mu.Unlock()
+	}
+	return pred, nil
+}
+
+// Ingest routes one observation to its model's shard and returns the
+// live prediction. It blocks until the shard has processed the
+// observation; under overload it fails fast with ErrBusy.
+func (e *Engine) Ingest(obs FleetObservation) (Prediction, error) {
+	if err := e.validate(obs); err != nil {
+		return Prediction{}, err
+	}
+	if err := e.resolveModel(&obs); err != nil {
+		return Prediction{}, err
+	}
+	var (
+		pred Prediction
+		ierr error
+	)
+	if err := e.pool.Do(obs.Model, func(s *shardState) {
+		pred, ierr = e.apply(s, obs)
+	}); err != nil {
+		return Prediction{}, err
+	}
+	return pred, ierr
+}
+
+// BatchResult is one observation's outcome in IngestBatch.
+type BatchResult struct {
+	Prediction Prediction
+	Err        error
+}
+
+// IngestBatch fans a slice of observations out to their model shards
+// and gathers the replies. Observations for the same model are applied
+// in slice order; distinct models proceed in parallel. Each entry
+// succeeds or fails independently.
+func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
+	res := make([]BatchResult, len(batch))
+	groups := make(map[string][]int)
+	order := make([]string, 0, 4)
+	for i := range batch {
+		if err := e.validate(batch[i]); err != nil {
+			res[i].Err = err
+			continue
+		}
+		if err := e.resolveModel(&batch[i]); err != nil {
+			res[i].Err = err
+			continue
+		}
+		m := batch[i].Model
+		if _, ok := groups[m]; !ok {
+			order = append(order, m)
+		}
+		groups[m] = append(groups[m], i)
+	}
+	var wg sync.WaitGroup
+	for _, model := range order {
+		idxs := groups[model]
+		wg.Add(1)
+		err := e.pool.Submit(model, func(s *shardState) {
+			defer wg.Done()
+			for _, i := range idxs {
+				res[i].Prediction, res[i].Err = e.apply(s, batch[i])
+			}
+		})
+		if err != nil {
+			wg.Done()
+			for _, i := range idxs {
+				res[i].Err = err
+			}
+		}
+	}
+	wg.Wait()
+	return res
+}
+
+// Retire drops a disk (planned decommission) from its model's shard.
+// Unknown serials are a no-op.
+func (e *Engine) Retire(serial string) error {
+	e.mu.RLock()
+	model, ok := e.modelOf[serial]
+	e.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	var ierr error
+	if err := e.pool.Do(model, func(s *shardState) {
+		if e.wal != nil {
+			seq, err := e.wal.Append(encodeRetireRecord(model, serial))
+			if err != nil {
+				ierr = err
+				return
+			}
+			s.lastSeq = seq
+		}
+		s.p.Retire(serial)
+		e.mu.Lock()
+		delete(e.modelOf, serial)
+		e.mu.Unlock()
+	}); err != nil {
+		return err
+	}
+	return ierr
+}
+
+// Models returns the drive models with live shards, sorted.
+func (e *Engine) Models() []string { return e.pool.Keys() }
+
+// Stats reports per-model forest statistics across all shards.
+func (e *Engine) Stats() []ModelStats {
+	var out []ModelStats
+	for _, model := range e.pool.Keys() {
+		var ms ModelStats
+		if err := e.pool.Query(model, func(s *shardState) {
+			st := s.p.Stats()
+			ms = ModelStats{
+				Model:    model,
+				Updates:  st.Updates,
+				PosSeen:  st.PosSeen,
+				NegSeen:  st.NegSeen,
+				Replaced: st.Replaced,
+				Nodes:    st.Nodes,
+				Tracked:  s.p.TrackedDisks(),
+			}
+		}); err != nil {
+			continue
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// Importance returns a model's current feature importance ranking, or
+// ok=false if the model has no shard.
+func (e *Engine) Importance(model string) (imp []FeatureImportance, ok bool) {
+	err := e.pool.Query(model, func(s *shardState) {
+		imp = s.p.FeatureImportance()
+	})
+	return imp, err == nil
+}
+
+// Snapshot atomically persists every shard's full state (model +
+// labeling queues) and truncates the WAL up to the oldest snapshot
+// sequence number. A no-op without a DataDir.
+func (e *Engine) Snapshot() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	models := e.pool.Keys()
+	if len(models) == 0 {
+		return nil
+	}
+	cutoff := uint64(math.MaxUint64)
+	for _, model := range models {
+		var (
+			seq  uint64
+			serr error
+		)
+		if err := e.pool.Query(model, func(s *shardState) {
+			seq = s.lastSeq
+			if prev, ok := e.snapped[model]; ok && prev == seq {
+				return // unchanged since last snapshot
+			}
+			serr = writeSnapshot(e.cfg.DataDir, model, s)
+		}); err != nil {
+			return err
+		}
+		if serr != nil {
+			return serr
+		}
+		e.snapped[model] = seq
+		if seq < cutoff {
+			cutoff = seq
+		}
+	}
+	if err := e.wal.Sync(); err != nil {
+		return err
+	}
+	return e.wal.TruncateBefore(cutoff + 1)
+}
+
+// Close drains all shard mailboxes, takes a final snapshot (when
+// durable) and releases the WAL. The engine is unusable afterwards.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		if e.stop != nil {
+			close(e.stop)
+			<-e.tickDone
+		}
+		// Snapshot before closing the pool (snapshots run on shard
+		// workers). Any request that lands between the snapshot and
+		// the pool close is still covered by the WAL suffix.
+		if e.wal != nil {
+			e.closeErr = e.Snapshot()
+		}
+		e.pool.Close()
+		if e.wal != nil {
+			if err := e.wal.Close(); e.closeErr == nil {
+				e.closeErr = err
+			}
+		}
+	})
+	return e.closeErr
+}
+
+// --- recovery ---
+
+const (
+	snapMagic  = "OSN1"
+	snapSuffix = ".snap"
+	snapPrefix = "snap-"
+)
+
+func (e *Engine) recover() error {
+	dir := e.cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	snapSeq := make(map[string]uint64)
+	var maxSnap uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		model, st, err := loadSnapshot(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("orfdisk: loading snapshot %s: %w", name, err)
+		}
+		e.recovered[model] = st
+		snapSeq[model] = st.lastSeq
+		e.snapped[model] = st.lastSeq
+		if st.lastSeq > maxSnap {
+			maxSnap = st.lastSeq
+		}
+	}
+	w, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(dir, "wal"),
+		SegmentBytes: e.cfg.SegmentBytes,
+		SyncEvery:    e.cfg.SyncEvery,
+		SyncInterval: e.cfg.SyncInterval,
+	})
+	if err != nil {
+		return err
+	}
+	e.wal = w
+
+	// Materialize snapshotted shards and rebuild serial->model routing
+	// from their queue membership (a disk has a live queue iff it is
+	// routed, so the two stay in lockstep).
+	for model := range e.recovered {
+		if err := e.pool.Do(model, func(s *shardState) {
+			for _, serial := range s.p.TrackedSerials() {
+				e.modelOf[serial] = model
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Replay the WAL suffix. Records at or below a model's snapshot
+	// sequence are already captured by that snapshot.
+	err = w.Replay(func(seq uint64, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if seq <= snapSeq[rec.obs.Model] {
+			return nil
+		}
+		switch rec.kind {
+		case recObserve:
+			e.mu.Lock()
+			e.modelOf[rec.obs.Serial] = rec.obs.Model
+			e.mu.Unlock()
+			var ierr error
+			if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
+				_, ierr = s.p.Ingest(rec.obs.Observation)
+				s.lastSeq = seq
+			}); err != nil {
+				return err
+			}
+			if ierr != nil {
+				return fmt.Errorf("orfdisk: replaying seq %d: %w", seq, ierr)
+			}
+			if rec.obs.Failed {
+				e.mu.Lock()
+				delete(e.modelOf, rec.obs.Serial)
+				e.mu.Unlock()
+			}
+		case recRetire:
+			if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
+				s.p.Retire(rec.obs.Serial)
+				s.lastSeq = seq
+			}); err != nil {
+				return err
+			}
+			e.mu.Lock()
+			delete(e.modelOf, rec.obs.Serial)
+			e.mu.Unlock()
+		default:
+			return fmt.Errorf("orfdisk: unknown WAL record kind %d at seq %d", rec.kind, seq)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Never reuse sequence numbers a snapshot already accounts for.
+	w.SkipTo(maxSnap + 1)
+	return nil
+}
+
+func snapName(model string) string {
+	return snapPrefix + hex.EncodeToString([]byte(model)) + snapSuffix
+}
+
+func writeSnapshot(dir, model string, s *shardState) error {
+	final := filepath.Join(dir, snapName(model))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	werr := func() error {
+		if _, err := io.WriteString(bw, snapMagic); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], s.lastSeq)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(model)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(bw, model); err != nil {
+			return err
+		}
+		if err := s.p.SaveState(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}()
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	// Persist the rename itself (best effort; not all filesystems
+	// support directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (model string, st *shardState, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return "", nil, err
+	}
+	if string(head) != snapMagic {
+		return "", nil, fmt.Errorf("bad snapshot magic %q", head)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return "", nil, err
+	}
+	lastSeq := binary.LittleEndian.Uint64(buf[:])
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return "", nil, err
+	}
+	n := binary.LittleEndian.Uint64(buf[:])
+	if n > 1<<16 {
+		return "", nil, fmt.Errorf("corrupt snapshot (model name of %d bytes)", n)
+	}
+	nameBuf := make([]byte, n)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return "", nil, err
+	}
+	p, err := LoadPredictorState(br)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(nameBuf), &shardState{p: p, lastSeq: lastSeq}, nil
+}
+
+// --- WAL record encoding ---
+
+const (
+	recObserve = 1
+	recRetire  = 2
+)
+
+type walRecord struct {
+	kind byte
+	obs  FleetObservation
+}
+
+func encodeObserveRecord(obs FleetObservation) []byte {
+	n := 1 + 4 + len(obs.Model) + 4 + len(obs.Serial) + 8 + 1 + 4 + 8*len(obs.Values)
+	buf := make([]byte, 0, n)
+	buf = append(buf, recObserve)
+	buf = appendString(buf, obs.Model)
+	buf = appendString(buf, obs.Serial)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(obs.Day)))
+	if obs.Failed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(obs.Values)))
+	for _, v := range obs.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func encodeRetireRecord(model, serial string) []byte {
+	buf := make([]byte, 0, 1+4+len(model)+4+len(serial))
+	buf = append(buf, recRetire)
+	buf = appendString(buf, model)
+	buf = appendString(buf, serial)
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func decodeRecord(b []byte) (walRecord, error) {
+	var rec walRecord
+	if len(b) < 1 {
+		return rec, fmt.Errorf("orfdisk: empty WAL record")
+	}
+	rec.kind = b[0]
+	b = b[1:]
+	var err error
+	if rec.obs.Model, b, err = takeString(b); err != nil {
+		return rec, err
+	}
+	if rec.obs.Serial, b, err = takeString(b); err != nil {
+		return rec, err
+	}
+	if rec.kind == recRetire {
+		return rec, nil
+	}
+	if len(b) < 8+1+4 {
+		return rec, fmt.Errorf("orfdisk: truncated WAL record")
+	}
+	rec.obs.Day = int(int64(binary.LittleEndian.Uint64(b)))
+	rec.obs.Failed = b[8] == 1
+	nv := binary.LittleEndian.Uint32(b[9:])
+	b = b[13:]
+	if uint64(len(b)) != uint64(nv)*8 {
+		return rec, fmt.Errorf("orfdisk: WAL record carries %d bytes for %d values", len(b), nv)
+	}
+	rec.obs.Values = make([]float64, nv)
+	for i := range rec.obs.Values {
+		rec.obs.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return rec, nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("orfdisk: truncated WAL record")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if uint64(len(b)) < 4+uint64(n) {
+		return "", nil, fmt.Errorf("orfdisk: truncated WAL record")
+	}
+	return string(b[4 : 4+n]), b[4+n:], nil
+}

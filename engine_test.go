@@ -1,0 +1,424 @@
+package orfdisk
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+// engineStream builds a chronological FleetObservation stream from a
+// small simulated fleet, routing disks to nModels drive models by a
+// deterministic serial hash.
+func engineStream(t testing.TB, seed uint64, nModels int) []FleetObservation {
+	t.Helper()
+	p := dataset.STA(1)
+	p.GoodDisks, p.FailedDisks, p.Months = 60, 20, 6
+	g, err := dataset.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []FleetObservation
+	err = g.Stream(func(s smart.Sample) error {
+		obs = append(obs, FleetObservation{
+			Model: modelForSerial(s.Serial, nModels),
+			Observation: Observation{
+				Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+			},
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func modelForSerial(serial string, nModels int) string {
+	h := fnv.New32a()
+	h.Write([]byte(serial))
+	return fmt.Sprintf("MODEL-%d", h.Sum32()%uint32(nModels))
+}
+
+func engineTestConfig() Config {
+	return Config{Horizon: 4, ORF: ORFConfig{Trees: 5, MinParentSize: 50, Seed: 9}}
+}
+
+func samePrediction(a, b Prediction) bool {
+	return a.Serial == b.Serial && a.Day == b.Day && a.Risky == b.Risky &&
+		a.Final == b.Final &&
+		math.Float64bits(a.Score) == math.Float64bits(b.Score)
+}
+
+func TestEngineMatchesFleet(t *testing.T) {
+	obs := engineStream(t, 21, 3)
+	cfg := engineTestConfig()
+	fleet := NewFleet(cfg)
+	eng, err := NewEngine(EngineConfig{Predictor: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, o := range obs {
+		want, werr := fleet.Ingest(o)
+		got, gerr := eng.Ingest(o)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence: fleet %v engine %v", werr, gerr)
+		}
+		if werr == nil && !samePrediction(want, got) {
+			t.Fatalf("prediction divergence for %s day %d:\nfleet  %+v\nengine %+v",
+				o.Serial, o.Day, want, got)
+		}
+	}
+	models := eng.Models()
+	if len(models) != len(fleet.Models()) {
+		t.Fatalf("models %v vs fleet %v", models, fleet.Models())
+	}
+	for _, ms := range eng.Stats() {
+		p := fleet.Predictor(ms.Model)
+		st := p.Stats()
+		if ms.Updates != st.Updates || ms.PosSeen != st.PosSeen || ms.NegSeen != st.NegSeen ||
+			ms.Tracked != p.TrackedDisks() {
+			t.Fatalf("stats divergence for %s: %+v vs %+v", ms.Model, ms, st)
+		}
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	const (
+		nModels    = 6
+		goroutines = 4 // per model
+		days       = 40
+	)
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(),
+		DataDir:   t.TempDir(), // WAL in the loop for race coverage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, CatalogSize())
+	for i := range values {
+		values[i] = float64(i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nModels*goroutines)
+	for m := 0; m < nModels; m++ {
+		for g := 0; g < goroutines; g++ {
+			m, g := m, g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serial := fmt.Sprintf("disk-%d-%d", m, g)
+				model := fmt.Sprintf("MODEL-%d", m)
+				for day := 0; day < days; day++ {
+					_, err := eng.Ingest(FleetObservation{
+						Model: model,
+						Observation: Observation{
+							Serial: serial, Day: day, Values: values,
+						},
+					})
+					if err != nil {
+						errs <- fmt.Errorf("%s day %d: %w", serial, day, err)
+						return
+					}
+				}
+				// Exercise the concurrent read paths too.
+				eng.Models()
+				eng.Stats()
+				eng.Importance(model)
+				if g == 0 {
+					if err := eng.Retire(serial); err != nil {
+						errs <- err
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := eng.Stats()
+	if len(stats) != nModels {
+		t.Fatalf("%d models, want %d", len(stats), nModels)
+	}
+	var updates int64
+	for _, ms := range stats {
+		updates += ms.Updates
+	}
+	// Every goroutine's stream releases days-horizon negatives, except
+	// the retired disks lose their queued window.
+	if updates == 0 {
+		t.Fatal("no online updates happened")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCrashRecovery is the headline durability test: run a stream
+// through a durable engine, snapshot mid-way, keep streaming, "crash"
+// (abandon the engine without closing), damage the WAL tail with a torn
+// partial record, recover, and require the recovered engine to be
+// bit-identical to an uninterrupted run — same predictions for the rest
+// of the stream, same forest statistics, same scores.
+func TestEngineCrashRecovery(t *testing.T) {
+	obs := engineStream(t, 22, 3)
+	cfg := engineTestConfig()
+	cut1, cut2 := len(obs)/3, 2*len(obs)/3
+
+	// Reference: uninterrupted single-threaded run over the full stream.
+	fleet := NewFleet(cfg)
+	refPred := make([]Prediction, len(obs))
+	for i, o := range obs {
+		p, err := fleet.Ingest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPred[i] = p
+	}
+
+	dir := t.TempDir()
+	eng1, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[:cut1] {
+		if _, err := eng1.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[cut1:cut2] {
+		if _, err := eng1.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close, no final snapshot. The WAL covers [cut1, cut2).
+	// Simulate a torn final write on top.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (err=%v)", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	eng2, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	// The recovered engine must continue the exact stream.
+	for i, o := range obs[cut2:] {
+		got, err := eng2.Ingest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refPred[cut2+i]; !samePrediction(want, got) {
+			t.Fatalf("post-recovery divergence at obs %d (%s day %d):\nwant %+v\ngot  %+v",
+				cut2+i, o.Serial, o.Day, want, got)
+		}
+	}
+	for _, ms := range eng2.Stats() {
+		p := fleet.Predictor(ms.Model)
+		if p == nil {
+			t.Fatalf("recovered unknown model %s", ms.Model)
+		}
+		st := p.Stats()
+		if ms.Updates != st.Updates || ms.PosSeen != st.PosSeen ||
+			ms.NegSeen != st.NegSeen || ms.Nodes != st.Nodes ||
+			ms.Tracked != p.TrackedDisks() {
+			t.Fatalf("stats divergence for %s after recovery:\n%+v\n%+v", ms.Model, ms, st)
+		}
+	}
+	// Scores on held-out vectors must match bit for bit.
+	probe := make([]float64, CatalogSize())
+	for i := range probe {
+		probe[i] = float64(i) * 1.5
+	}
+	for _, model := range eng2.Models() {
+		var got float64
+		if err := eng2.pool.Query(model, func(s *shardState) {
+			got, _ = s.p.Score(probe)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want, err := fleet.Predictor(model).Score(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("score divergence for %s: %v vs %v", model, want, got)
+		}
+	}
+}
+
+func TestEngineRestartAfterCleanClose(t *testing.T) {
+	obs := engineStream(t, 23, 2)
+	cfg := engineTestConfig()
+	cut := len(obs) / 2
+	dir := t.TempDir()
+
+	fleet := NewFleet(cfg)
+	refPred := make([]Prediction, len(obs))
+	for i, o := range obs {
+		refPred[i], _ = fleet.Ingest(o)
+	}
+
+	eng1, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[:cut] {
+		if _, err := eng1.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean close snapshots everything: the WAL prefix is truncated
+	// and recovery must come purely from snapshots.
+	eng2, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	for i, o := range obs[cut:] {
+		got, err := eng2.Ingest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refPred[cut+i]; !samePrediction(want, got) {
+			t.Fatalf("post-restart divergence at obs %d:\nwant %+v\ngot  %+v", cut+i, want, got)
+		}
+	}
+}
+
+func TestEngineRetireDurable(t *testing.T) {
+	cfg := engineTestConfig()
+	dir := t.TempDir()
+	values := make([]float64, CatalogSize())
+	eng1, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		if _, err := eng1.Ingest(FleetObservation{
+			Model:       "M",
+			Observation: Observation{Serial: "d1", Day: day, Values: values},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng1.Retire("d1"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without snapshot: the retire must be replayed from the WAL.
+	eng2, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	stats := eng2.Stats()
+	if len(stats) != 1 || stats[0].Tracked != 0 {
+		t.Fatalf("retired disk resurrected: %+v", stats)
+	}
+	// And its routing memory must be gone: an observation without a
+	// model can no longer resolve.
+	if _, err := eng2.Ingest(FleetObservation{
+		Observation: Observation{Serial: "d1", Day: 9, Values: values},
+	}); err == nil {
+		t.Fatal("observation without model resolved after retire")
+	}
+}
+
+func TestEngineSnapshotTruncatesWAL(t *testing.T) {
+	cfg := engineTestConfig()
+	dir := t.TempDir()
+	eng, err := NewEngine(EngineConfig{
+		Predictor:    cfg,
+		DataDir:      dir,
+		SegmentBytes: 4096, // force frequent rotation
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	values := make([]float64, CatalogSize())
+	for day := 0; day < 200; day++ {
+		if _, err := eng.Ingest(FleetObservation{
+			Model:       "M",
+			Observation: Observation{Serial: "d1", Day: day, Values: values},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(before) < 3 {
+		t.Fatalf("expected several segments before snapshot, got %d", len(before))
+	}
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(after) >= len(before) {
+		t.Fatalf("snapshot truncated nothing: %d -> %d segments", len(before), len(after))
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshot files, want 1", len(snaps))
+	}
+}
+
+func TestEngineBatch(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	values := make([]float64, CatalogSize())
+	batch := []FleetObservation{
+		{Model: "A", Observation: Observation{Serial: "a1", Day: 0, Values: values}},
+		{Model: "B", Observation: Observation{Serial: "b1", Day: 0, Values: values}},
+		{Observation: Observation{Serial: "", Day: 0, Values: values}},      // invalid: no serial
+		{Observation: Observation{Serial: "ghost", Day: 0, Values: values}}, // invalid: unknown model
+		{Model: "A", Observation: Observation{Serial: "a1", Day: 1, Values: values}},
+	}
+	res := eng.IngestBatch(batch)
+	if len(res) != len(batch) {
+		t.Fatalf("%d results for %d observations", len(res), len(batch))
+	}
+	for _, i := range []int{0, 1, 4} {
+		if res[i].Err != nil {
+			t.Fatalf("item %d failed: %v", i, res[i].Err)
+		}
+		if res[i].Prediction.Serial != batch[i].Serial || res[i].Prediction.Day != batch[i].Day {
+			t.Fatalf("item %d misrouted: %+v", i, res[i].Prediction)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if res[i].Err == nil {
+			t.Fatalf("invalid item %d accepted", i)
+		}
+	}
+	if got := eng.Models(); len(got) != 2 {
+		t.Fatalf("models after batch: %v", got)
+	}
+}

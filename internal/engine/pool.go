@@ -1,0 +1,199 @@
+// Package engine provides the serving engine's concurrency substrate: a
+// pool of per-key worker goroutines ("shards"), each owning one state
+// value and draining a bounded mailbox of closures. All work for one
+// key is executed serially by that key's worker, so shard state needs
+// no locking; work for different keys runs in parallel.
+//
+// Backpressure is explicit: when a mailbox is full, Submit blocks up to
+// a configured timeout and then fails with ErrBusy, which callers
+// surface as overload (HTTP 503) instead of queueing unboundedly.
+package engine
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrBusy means a shard's mailbox stayed full past the enqueue
+	// timeout — the caller should shed the request.
+	ErrBusy = errors.New("engine: shard mailbox full")
+	// ErrClosed means the pool has been closed.
+	ErrClosed = errors.New("engine: pool closed")
+	// ErrUnknownShard is returned by Query for a key with no shard.
+	ErrUnknownShard = errors.New("engine: unknown shard")
+)
+
+// Config sizes the pool. Zero values select defaults.
+type Config struct {
+	// Mailbox is the per-shard queue capacity. Default 256.
+	Mailbox int
+	// EnqueueTimeout bounds how long Submit blocks on a full mailbox
+	// before returning ErrBusy. Default 50 ms.
+	EnqueueTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Mailbox <= 0 {
+		c.Mailbox = 256
+	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = 50 * time.Millisecond
+	}
+}
+
+// Pool manages one worker goroutine per key, created lazily by a
+// factory. S is the per-shard state type, owned exclusively by the
+// shard's worker.
+type Pool[S any] struct {
+	cfg     Config
+	factory func(key string) S
+
+	mu     sync.RWMutex
+	shards map[string]*shard[S]
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type shard[S any] struct {
+	mbox chan func(S)
+}
+
+// New creates a pool whose shards are built by factory on first use.
+// The factory runs under the pool's lock: it must not call back into
+// the pool.
+func New[S any](cfg Config, factory func(key string) S) *Pool[S] {
+	cfg.fill()
+	return &Pool[S]{
+		cfg:     cfg,
+		factory: factory,
+		shards:  make(map[string]*shard[S]),
+	}
+}
+
+func (p *Pool[S]) shardFor(key string, create bool) (*shard[S], error) {
+	p.mu.RLock()
+	sh, closed := p.shards[key], p.closed
+	p.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if sh != nil {
+		return sh, nil
+	}
+	if !create {
+		return nil, ErrUnknownShard
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if sh = p.shards[key]; sh != nil {
+		return sh, nil
+	}
+	sh = &shard[S]{mbox: make(chan func(S), p.cfg.Mailbox)}
+	p.shards[key] = sh
+	state := p.factory(key)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for fn := range sh.mbox {
+			fn(state)
+		}
+	}()
+	return sh, nil
+}
+
+// Submit enqueues fn on key's shard (creating it if needed) and returns
+// without waiting for execution. If the mailbox stays full past the
+// enqueue timeout it returns ErrBusy.
+func (p *Pool[S]) Submit(key string, fn func(S)) error {
+	sh, err := p.shardFor(key, true)
+	if err != nil {
+		return err
+	}
+	return p.send(sh, fn)
+}
+
+func (p *Pool[S]) send(sh *shard[S], fn func(S)) error {
+	// The read lock pins the mailbox open: Close takes the write lock
+	// before closing channels, so a send in progress cannot panic.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.mbox <- fn:
+		return nil
+	default:
+	}
+	t := time.NewTimer(p.cfg.EnqueueTimeout)
+	defer t.Stop()
+	select {
+	case sh.mbox <- fn:
+		return nil
+	case <-t.C:
+		return ErrBusy
+	}
+}
+
+// Do enqueues fn on key's shard (creating it if needed) and waits until
+// it has executed.
+func (p *Pool[S]) Do(key string, fn func(S)) error {
+	return p.doSync(key, true, fn)
+}
+
+// Query is Do without shard creation: it returns ErrUnknownShard if the
+// key has never been used. Use for read paths that must not materialize
+// state.
+func (p *Pool[S]) Query(key string, fn func(S)) error {
+	return p.doSync(key, false, fn)
+}
+
+func (p *Pool[S]) doSync(key string, create bool, fn func(S)) error {
+	sh, err := p.shardFor(key, create)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	if err := p.send(sh, func(s S) {
+		defer close(done)
+		fn(s)
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Keys returns the keys of all live shards, sorted.
+func (p *Pool[S]) Keys() []string {
+	p.mu.RLock()
+	out := make([]string, 0, len(p.shards))
+	for k := range p.shards {
+		out = append(out, k)
+	}
+	p.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Close stops accepting work, drains every mailbox, and waits for all
+// workers to exit. Closing twice is safe.
+func (p *Pool[S]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, sh := range p.shards {
+		close(sh.mbox)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type counter struct {
+	key  string
+	seen []int
+}
+
+func TestPerKeySerialization(t *testing.T) {
+	p := New(Config{}, func(key string) *counter { return &counter{key: key} })
+	defer p.Close()
+	const n = 500
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do("k", func(c *counter) { c.seen = append(c.seen, i) }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	var got []int
+	if err := p.Query("k", func(c *counter) { got = append(got, c.seen...) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("%d executions, want %d", len(got), n)
+	}
+}
+
+func TestShardsRunInParallel(t *testing.T) {
+	p := New(Config{}, func(key string) string { return key })
+	defer p.Close()
+	// Worker A blocks until worker B has run: only possible if the two
+	// shards execute concurrently.
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Do("a", func(string) { <-release }) //nolint:errcheck
+	}()
+	if err := p.Do("b", func(string) { close(release) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shards did not run in parallel")
+	}
+}
+
+func TestBackpressureErrBusy(t *testing.T) {
+	p := New(Config{Mailbox: 1, EnqueueTimeout: 10 * time.Millisecond},
+		func(key string) string { return key })
+	block := make(chan struct{})
+	// Occupy the worker, then fill the 1-slot mailbox.
+	if err := p.Submit("k", func(string) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may or may not have dequeued the blocker yet; keep
+	// submitting until the mailbox is demonstrably full.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := p.Submit("k", func(string) {})
+		if errors.Is(err, ErrBusy) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never saw ErrBusy")
+		}
+	}
+	close(block)
+	p.Close()
+}
+
+func TestQueryUnknownShard(t *testing.T) {
+	p := New(Config{}, func(key string) string { return key })
+	defer p.Close()
+	if err := p.Query("ghost", func(string) {}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("Query(ghost) = %v, want ErrUnknownShard", err)
+	}
+	if got := p.Keys(); len(got) != 0 {
+		t.Fatalf("Query materialized a shard: %v", got)
+	}
+}
+
+func TestCloseDrainsMailboxes(t *testing.T) {
+	p := New(Config{Mailbox: 64}, func(key string) string { return key })
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	if err := p.Submit("k", func(string) { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := p.Submit("k", func(string) { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	p.Close()
+	if ran.Load() != 20 {
+		t.Fatalf("Close drained %d/20 queued tasks", ran.Load())
+	}
+	if err := p.Do("k", func(string) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	p := New(Config{}, func(key string) string { return key })
+	defer p.Close()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := p.Do(k, func(string) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Keys()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}

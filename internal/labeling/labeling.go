@@ -16,6 +16,7 @@ package labeling
 
 import (
 	"fmt"
+	"sort"
 
 	"orfdisk/internal/smart"
 )
@@ -135,6 +136,63 @@ func (l *Labeler) Fail(disk string) {
 		l.release(Labeled{X: x, Y: smart.Positive, Day: day, Disk: disk})
 	}
 	delete(l.queues, disk)
+}
+
+// Disks returns the serials of all tracked disks, sorted.
+func (l *Labeler) Disks() []string {
+	out := make([]string, 0, len(l.queues))
+	for d := range l.queues {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueueState is the serializable content of one disk's queue, oldest
+// sample first. Export/Import exist so a snapshotting deployment can
+// capture the labeler exactly: replaying the post-snapshot stream then
+// reproduces the uninterrupted run bit for bit, which a restart with
+// empty queues cannot (the queued window's labels would be lost).
+type QueueState struct {
+	Disk string
+	Days []int
+	X    [][]float64
+}
+
+// Export returns every tracked disk's queued samples, sorted by disk.
+// The returned slices alias the live queues; treat them as read-only.
+func (l *Labeler) Export() []QueueState {
+	out := make([]QueueState, 0, len(l.queues))
+	for _, d := range l.Disks() {
+		q := l.queues[d]
+		out = append(out, QueueState{Disk: d, Days: q.days, X: q.buf})
+	}
+	return out
+}
+
+// Import replaces the labeler's queues with previously Exported state.
+func (l *Labeler) Import(states []QueueState) error {
+	fresh := make(map[string]*Queue, len(states))
+	for _, st := range states {
+		if len(st.Days) != len(st.X) {
+			return fmt.Errorf("labeling: disk %q has %d days for %d samples",
+				st.Disk, len(st.Days), len(st.X))
+		}
+		if len(st.X) > l.horizon {
+			return fmt.Errorf("labeling: disk %q imports %d samples, horizon %d",
+				st.Disk, len(st.X), l.horizon)
+		}
+		if _, dup := fresh[st.Disk]; dup {
+			return fmt.Errorf("labeling: duplicate disk %q in import", st.Disk)
+		}
+		q := NewQueue(l.horizon)
+		for i := range st.X {
+			q.Enqueue(st.X[i], st.Days[i])
+		}
+		fresh[st.Disk] = q
+	}
+	l.queues = fresh
+	return nil
 }
 
 // Retire drops a disk without labeling its queued samples (the disk left

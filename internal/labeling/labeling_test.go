@@ -213,3 +213,52 @@ func TestNilUpdateSafe(t *testing.T) {
 	l.Observe("d", vec(2), 1) // releases through nil Update
 	l.Fail("d")
 }
+
+func TestExportImportRoundTrip(t *testing.T) {
+	out, upd := collect()
+	l := NewLabeler(3, upd)
+	l.Observe("b", vec(1), 0)
+	l.Observe("a", vec(2), 0)
+	l.Observe("a", vec(3), 1)
+	states := l.Export()
+	if len(states) != 2 || states[0].Disk != "a" || states[1].Disk != "b" {
+		t.Fatalf("export %+v", states)
+	}
+	if len(states[0].X) != 2 || states[0].Days[1] != 1 {
+		t.Fatalf("export lost samples: %+v", states[0])
+	}
+
+	m := NewLabeler(3, upd)
+	if err := m.Import(states); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveDisks() != 2 || m.Pending() != 3 {
+		t.Fatalf("import: %d disks, %d pending", m.ActiveDisks(), m.Pending())
+	}
+	// The imported queues must behave exactly like the originals:
+	// two more observations on "a" overflow its horizon-3 queue.
+	*out = (*out)[:0]
+	m.Observe("a", vec(4), 2)
+	m.Observe("a", vec(5), 3)
+	if len(*out) != 1 || (*out)[0].X[0] != 2 || (*out)[0].Y != smart.Negative {
+		t.Fatalf("imported queue released %+v", *out)
+	}
+}
+
+func TestImportRejectsBadState(t *testing.T) {
+	l := NewLabeler(2, nil)
+	if err := l.Import([]QueueState{{Disk: "a", Days: []int{0}, X: nil}}); err == nil {
+		t.Fatal("mismatched days/samples accepted")
+	}
+	if err := l.Import([]QueueState{{
+		Disk: "a", Days: []int{0, 1, 2}, X: [][]float64{vec(1), vec(2), vec(3)},
+	}}); err == nil {
+		t.Fatal("over-horizon queue accepted")
+	}
+	if err := l.Import([]QueueState{
+		{Disk: "a", Days: []int{0}, X: [][]float64{vec(1)}},
+		{Disk: "a", Days: []int{0}, X: [][]float64{vec(1)}},
+	}); err == nil {
+		t.Fatal("duplicate disk accepted")
+	}
+}

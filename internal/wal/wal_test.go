@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, opts Options) *WAL {
+	t.Helper()
+	opts.Dir = dir
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func collect(t *testing.T, w *WAL) (seqs []uint64, payloads []string) {
+	t.Helper()
+	err := w.Replay(func(seq uint64, payload []byte) error {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs, payloads
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{})
+	var want []string
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("record-%03d", i)
+		seq, err := w.Append([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d, want %d", seq, i+1)
+		}
+		want = append(want, p)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTest(t, dir, Options{})
+	defer w2.Close()
+	seqs, payloads := collect(t, w2)
+	if len(payloads) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(payloads))
+	}
+	for i := range payloads {
+		if payloads[i] != want[i] || seqs[i] != uint64(i+1) {
+			t.Fatalf("record %d: seq %d payload %q", i, seqs[i], payloads[i])
+		}
+	}
+	if w2.NextSeq() != 101 {
+		t.Fatalf("NextSeq %d, want 101", w2.NextSeq())
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record is ~16+32 bytes, so rotation happens
+	// every couple of records.
+	w := openTest(t, dir, Options{SegmentBytes: 100})
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("%032d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 10 {
+		t.Fatalf("expected many segments, got %d", len(segs))
+	}
+	w2 := openTest(t, dir, Options{SegmentBytes: 100})
+	defer w2.Close()
+	seqs, _ := collect(t, w2)
+	if len(seqs) != 50 || seqs[49] != 50 {
+		t.Fatalf("replay across segments: %d records, last seq %d", len(seqs), seqs[len(seqs)-1])
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append a partial record (header promising
+	// more bytes than exist).
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1].path
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 1, 0, 0, 7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2 := openTest(t, dir, Options{})
+	seqs, _ := collect(t, w2)
+	if len(seqs) != 10 {
+		t.Fatalf("replayed %d records after torn tail, want 10", len(seqs))
+	}
+	// The log must keep accepting appends after truncation.
+	seq, err := w2.Append([]byte("after-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("post-recovery seq %d, want 11", seq)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3 := openTest(t, dir, Options{})
+	defer w3.Close()
+	seqs, payloads := collect(t, w3)
+	if len(seqs) != 11 || payloads[10] != "after-crash" {
+		t.Fatalf("post-recovery replay: %d records, last %q", len(seqs), payloads[len(payloads)-1])
+	}
+}
+
+func TestCorruptedTailCRC(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	path := segs[len(segs)-1].path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last record's payload.
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTest(t, dir, Options{})
+	defer w2.Close()
+	seqs, _ := collect(t, w2)
+	if len(seqs) != 4 {
+		t.Fatalf("replayed %d records after CRC damage, want 4", len(seqs))
+	}
+	if w2.NextSeq() != 5 {
+		t.Fatalf("NextSeq %d, want 5", w2.NextSeq())
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SegmentBytes: 100})
+	for i := 0; i < 40; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("%032d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := listSegments(dir)
+	if err := w.TruncateBefore(21); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(dir)
+	if len(after) >= len(before) {
+		t.Fatalf("truncation removed nothing (%d -> %d segments)", len(before), len(after))
+	}
+	seqs, _ := collect(t, w)
+	if len(seqs) == 0 || seqs[0] > 21 {
+		t.Fatalf("truncation dropped live records: first remaining seq %d", seqs[0])
+	}
+	if last := seqs[len(seqs)-1]; last != 40 {
+		t.Fatalf("lost tail records: last seq %d", last)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipTo(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{})
+	w.SkipTo(1000)
+	seq, err := w.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1000 {
+		t.Fatalf("seq %d, want 1000", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTest(t, dir, Options{})
+	defer w2.Close()
+	if w2.NextSeq() != 1001 {
+		t.Fatalf("NextSeq %d, want 1001", w2.NextSeq())
+	}
+}
+
+func TestGroupCommitSyncEvery(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 4, SyncInterval: time.Hour})
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.mu.Lock()
+	dirty := w.dirty
+	w.mu.Unlock()
+	if dirty >= 4 {
+		t.Fatalf("dirty %d despite SyncEvery=4", dirty)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	dirty = w.dirty
+	w.mu.Unlock()
+	if dirty != 0 {
+		t.Fatalf("dirty %d after Sync", dirty)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDirOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "wal")
+	w := openTest(t, dir, Options{})
+	defer w.Close()
+	seqs, _ := collect(t, w)
+	if len(seqs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(seqs))
+	}
+	if w.NextSeq() != 1 {
+		t.Fatalf("fresh NextSeq %d", w.NextSeq())
+	}
+}

@@ -22,7 +22,10 @@ import (
 // them from the live stream — at worst one week of healthy samples per
 // disk goes unlabeled, which is negligible against months of history.
 
-const predictorMagic = "ODP1"
+const (
+	predictorMagic = "ODP1"
+	stateMagic     = "ODS1"
+)
 
 // SaveModel serializes the predictor's model state to w.
 func (p *Predictor) SaveModel(w io.Writer) error {
@@ -152,3 +155,137 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	})
 	return p, nil
 }
+
+// SaveState serializes the predictor's complete state: the model (as
+// SaveModel) plus the per-disk labeling queues. Unlike SaveModel, a
+// predictor restored from SaveState and fed the post-snapshot stream
+// reproduces an uninterrupted run bit for bit — the property the
+// serving engine's crash recovery relies on.
+func (p *Predictor) SaveState(w io.Writer) error {
+	if _, err := io.WriteString(w, stateMagic); err != nil {
+		return err
+	}
+	if err := p.SaveModel(w); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeU64(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	queues := p.labeler.Export()
+	if err := writeU64(uint64(len(queues))); err != nil {
+		return err
+	}
+	for _, q := range queues {
+		if err := writeString(q.Disk); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(len(q.Days))); err != nil {
+			return err
+		}
+		for i := range q.Days {
+			if err := writeU64(uint64(int64(q.Days[i]))); err != nil {
+				return err
+			}
+			if len(q.X[i]) != len(p.features) {
+				return fmt.Errorf("orfdisk: queued sample of disk %q has %d features, want %d",
+					q.Disk, len(q.X[i]), len(p.features))
+			}
+			for _, v := range q.X[i] {
+				if err := writeU64(math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LoadPredictorState reconstructs a predictor saved with SaveState.
+func LoadPredictorState(r io.Reader) (*Predictor, error) {
+	head := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("orfdisk: reading state header: %w", err)
+	}
+	if string(head) != stateMagic {
+		return nil, fmt.Errorf("orfdisk: bad state magic %q", head)
+	}
+	p, err := LoadPredictor(r)
+	if err != nil {
+		return nil, err
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	readString := func() (string, error) {
+		n, err := readU64()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("orfdisk: corrupt state (string of %d bytes)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	nDisks, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("orfdisk: reading queue count: %w", err)
+	}
+	states := make([]labeling.QueueState, 0, nDisks)
+	for d := uint64(0); d < nDisks; d++ {
+		disk, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("orfdisk: reading queue disk: %w", err)
+		}
+		n, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("orfdisk: reading queue length: %w", err)
+		}
+		if n > uint64(p.horizon) {
+			return nil, fmt.Errorf("orfdisk: corrupt state (queue of %d > horizon %d)", n, p.horizon)
+		}
+		st := labeling.QueueState{Disk: disk}
+		for i := uint64(0); i < n; i++ {
+			day, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("orfdisk: reading queued sample: %w", err)
+			}
+			x := make([]float64, len(p.features))
+			for j := range x {
+				bits, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("orfdisk: reading queued sample: %w", err)
+				}
+				x[j] = math.Float64frombits(bits)
+			}
+			st.Days = append(st.Days, int(int64(day)))
+			st.X = append(st.X, x)
+		}
+		states = append(states, st)
+	}
+	if err := p.labeler.Import(states); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TrackedSerials returns the serials of all disks with live labeling
+// queues, sorted.
+func (p *Predictor) TrackedSerials() []string { return p.labeler.Disks() }

@@ -93,3 +93,68 @@ func TestLoadPredictorRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	g := smallFleet(t, 5)
+	p := NewPredictor(Config{Horizon: 4, ORF: ORFConfig{Trees: 8, MinParentSize: 50, Seed: 11}})
+	// Reference predictor fed the identical stream, never serialized.
+	ref := NewPredictor(Config{Horizon: 4, ORF: ORFConfig{Trees: 8, MinParentSize: 50, Seed: 11}})
+	var stream []Observation
+	err := g.Stream(func(s smart.Sample) error {
+		stream = append(stream, Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(stream) / 2
+	for _, o := range stream {
+		if _, err := ref.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range stream[:cut] {
+		if _, err := p.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictorState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TrackedDisks() != p.TrackedDisks() || q.PendingSamples() != p.PendingSamples() {
+		t.Fatalf("queues not restored: %d/%d disks, %d/%d pending",
+			q.TrackedDisks(), p.TrackedDisks(), q.PendingSamples(), p.PendingSamples())
+	}
+	// Unlike SaveModel (queues dropped), SaveState must reproduce the
+	// uninterrupted run exactly when fed the remaining stream.
+	for _, o := range stream[cut:] {
+		if _, err := q.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Stats() != ref.Stats() {
+		t.Fatalf("state round trip diverged from uninterrupted run:\n%+v\n%+v",
+			q.Stats(), ref.Stats())
+	}
+}
+
+func TestLoadPredictorStateRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOPE............",
+		"truncated": "ODS1ODP1\x01",
+	}
+	for name, data := range cases {
+		if _, err := LoadPredictorState(strings.NewReader(data)); err == nil {
+			t.Errorf("%s state accepted", name)
+		}
+	}
+}

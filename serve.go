@@ -2,37 +2,63 @@ package orfdisk
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 )
 
-// Server wraps a Fleet behind an HTTP API, the deployment form a data
-// center would actually run: collectors POST daily SMART snapshots, the
-// server updates the per-model online forests and answers with the live
-// risk prediction. All mutation is serialized by an internal mutex, so
-// the handler is safe for concurrent requests.
+// Server exposes an Engine behind an HTTP API, the deployment form a
+// data center would actually run: collectors POST daily SMART
+// snapshots, the engine's per-model shard workers update the online
+// forests, and every snapshot is answered with the live risk
+// prediction. Requests for different drive models are processed in
+// parallel; overload on one model's mailbox sheds with 503 instead of
+// queueing unboundedly.
 //
 // Endpoints:
 //
-//	POST /v1/observe   {serial, model, day, failed, norm:{id:val}, raw:{id:val}}
-//	                   -> {serial, day, score, risky, final}
-//	POST /v1/retire    {serial}
-//	GET  /v1/stats     -> per-model forest statistics
+//	POST /v1/observe        {serial, model, day, failed, norm:{id:val}, raw:{id:val}}
+//	                        -> {serial, day, score, risky, final}
+//	POST /v1/observe/batch  {observations:[...]} -> [{serial, day, score, risky, final, error?}]
+//	POST /v1/retire         {serial}
+//	GET  /v1/stats          -> per-model forest statistics
+//	GET  /v1/models         -> live shards (model, tracked disks, updates)
 //	GET  /v1/importance?model=M -> ranked feature importance
-//	GET  /healthz      -> 200 ok
+//	GET  /healthz           -> 200 ok
+//
+// Request bodies are limited to 1 MiB and decoded strictly (unknown
+// fields are rejected). All errors are JSON: {"error": "..."}.
 type Server struct {
-	mu    sync.Mutex
-	fleet *Fleet
+	eng *Engine
 }
 
-// NewServer creates a Server around a fresh Fleet with the given
-// predictor configuration.
+// maxBodyBytes caps every request body read by the server.
+const maxBodyBytes = 1 << 20
+
+// NewServer creates a Server around a fresh non-durable Engine with the
+// given predictor configuration. Use NewServerWithEngine for a durable
+// (WAL + snapshot) deployment.
 func NewServer(cfg Config) *Server {
-	return &Server{fleet: NewFleet(cfg)}
+	eng, err := NewEngine(EngineConfig{Predictor: cfg})
+	if err != nil {
+		// Unreachable: engine creation without a DataDir cannot fail.
+		panic(err)
+	}
+	return &Server{eng: eng}
 }
 
-// ObservationRequest is the POST /v1/observe payload.
+// NewServerWithEngine wraps an existing engine (typically a durable one
+// created with EngineConfig.DataDir).
+func NewServerWithEngine(e *Engine) *Server { return &Server{eng: e} }
+
+// Engine returns the serving engine behind the API.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Close drains the engine (final snapshot included when durable).
+func (s *Server) Close() error { return s.eng.Close() }
+
+// ObservationRequest is the POST /v1/observe payload (and the element
+// type of POST /v1/observe/batch).
 type ObservationRequest struct {
 	Serial string          `json:"serial"`
 	Model  string          `json:"model"`
@@ -45,6 +71,19 @@ type ObservationRequest struct {
 	Values []float64 `json:"values,omitempty"`
 }
 
+func (r ObservationRequest) fleetObservation() FleetObservation {
+	values := r.Values
+	if values == nil {
+		values = PackValues(r.Norm, r.Raw)
+	}
+	return FleetObservation{
+		Model: r.Model,
+		Observation: Observation{
+			Serial: r.Serial, Day: r.Day, Failed: r.Failed, Values: values,
+		},
+	}
+}
+
 // PredictionResponse is the POST /v1/observe reply.
 type PredictionResponse struct {
 	Serial string  `json:"serial"`
@@ -54,66 +93,150 @@ type PredictionResponse struct {
 	Final  bool    `json:"final"`
 }
 
-// Handler returns the http.Handler serving the API.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/observe", s.handleObserve)
-	mux.HandleFunc("POST /v1/retire", s.handleRetire)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/importance", s.handleImportance)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	var req ObservationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if req.Serial == "" {
-		http.Error(w, "bad request: missing serial", http.StatusBadRequest)
-		return
-	}
-	values := req.Values
-	if values == nil {
-		values = PackValues(req.Norm, req.Raw)
-	}
-	obs := FleetObservation{
-		Model: req.Model,
-		Observation: Observation{
-			Serial: req.Serial, Day: req.Day, Failed: req.Failed, Values: values,
-		},
-	}
-	s.mu.Lock()
-	pred, err := s.fleet.Ingest(obs)
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
+func predictionResponse(pred Prediction) PredictionResponse {
 	resp := PredictionResponse{
 		Serial: pred.Serial, Day: pred.Day, Risky: pred.Risky, Final: pred.Final,
 	}
 	if !pred.Final { // NaN is not valid JSON
 		resp.Score = pred.Score
 	}
-	writeJSON(w, resp)
+	return resp
+}
+
+// BatchRequest is the POST /v1/observe/batch payload.
+type BatchRequest struct {
+	Observations []ObservationRequest `json:"observations"`
+}
+
+// BatchItemResponse is one element of the POST /v1/observe/batch reply.
+type BatchItemResponse struct {
+	PredictionResponse
+	Error string `json:"error,omitempty"`
+}
+
+// ModelInfo is one live shard's entry in GET /v1/models.
+type ModelInfo struct {
+	Model        string `json:"model"`
+	TrackedDisks int    `json:"tracked_disks"`
+	Updates      int64  `json:"updates"`
+}
+
+// Handler returns the http.Handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle(mux, http.MethodPost, "/v1/observe", s.handleObserve)
+	handle(mux, http.MethodPost, "/v1/observe/batch", s.handleObserveBatch)
+	handle(mux, http.MethodPost, "/v1/retire", s.handleRetire)
+	handle(mux, http.MethodGet, "/v1/stats", s.handleStats)
+	handle(mux, http.MethodGet, "/v1/models", s.handleModels)
+	handle(mux, http.MethodGet, "/v1/importance", s.handleImportance)
+	handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handle registers h for exactly one method, answering anything else
+// with a JSON 405 and an Allow header (the default mux 405 is plain
+// text, and only for patterns that declare a method).
+func handle(mux *http.ServeMux, method, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		h(w, r)
+	})
+}
+
+// decodeBody strictly decodes a size-capped JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+}
+
+// ingestStatus maps an engine ingest error to an HTTP status.
+func ingestStatus(err error) int {
+	if errors.Is(err, ErrBusy) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObservationRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Serial == "" {
+		writeError(w, http.StatusBadRequest, "bad request: missing serial")
+		return
+	}
+	pred, err := s.eng.Ingest(req.fleetObservation())
+	if err != nil {
+		writeError(w, ingestStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, predictionResponse(pred))
+}
+
+func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	batch := make([]FleetObservation, len(req.Observations))
+	for i, o := range req.Observations {
+		batch[i] = o.fleetObservation()
+	}
+	results := s.eng.IngestBatch(batch)
+	out := make([]BatchItemResponse, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = BatchItemResponse{
+				PredictionResponse: PredictionResponse{
+					Serial: req.Observations[i].Serial, Day: req.Observations[i].Day,
+				},
+				Error: res.Err.Error(),
+			}
+			continue
+		}
+		out[i] = BatchItemResponse{PredictionResponse: predictionResponse(res.Prediction)}
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Serial string `json:"serial"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Serial == "" {
-		http.Error(w, "bad request", http.StatusBadRequest)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	s.fleet.Retire(req.Serial)
-	s.mu.Unlock()
+	if req.Serial == "" {
+		writeError(w, http.StatusBadRequest, "bad request: missing serial")
+		return
+	}
+	if err := s.eng.Retire(req.Serial); err != nil {
+		writeError(w, ingestStatus(err), err.Error())
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -129,36 +252,26 @@ type ModelStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	var out []ModelStats
-	for _, model := range s.fleet.Models() {
-		p := s.fleet.Predictor(model)
-		st := p.Stats()
-		out = append(out, ModelStats{
-			Model:    model,
-			Updates:  st.Updates,
-			PosSeen:  st.PosSeen,
-			NegSeen:  st.NegSeen,
-			Replaced: st.Replaced,
-			Nodes:    st.Nodes,
-			Tracked:  p.TrackedDisks(),
+	writeJSON(w, s.eng.Stats())
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := []ModelInfo{}
+	for _, ms := range s.eng.Stats() {
+		out = append(out, ModelInfo{
+			Model:        ms.Model,
+			TrackedDisks: ms.Tracked,
+			Updates:      ms.Updates,
 		})
 	}
-	s.mu.Unlock()
 	writeJSON(w, out)
 }
 
 func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) {
 	model := r.URL.Query().Get("model")
-	s.mu.Lock()
-	p := s.fleet.Predictor(model)
-	var imp []FeatureImportance
-	if p != nil {
-		imp = p.FeatureImportance()
-	}
-	s.mu.Unlock()
-	if p == nil {
-		http.Error(w, "unknown model", http.StatusNotFound)
+	imp, ok := s.eng.Importance(model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model")
 		return
 	}
 	writeJSON(w, imp)
@@ -169,4 +282,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
 }

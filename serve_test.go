@@ -13,7 +13,10 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	srv := NewServer(Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}})
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return ts
 }
 
@@ -165,6 +168,129 @@ func TestServerHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz -> %d", resp.StatusCode)
+	}
+}
+
+func TestServerObserveBatch(t *testing.T) {
+	ts := newTestServer(t)
+	var req BatchRequest
+	for day := 0; day < 3; day++ {
+		for m := 0; m < 2; m++ {
+			req.Observations = append(req.Observations, ObservationRequest{
+				Serial: fmt.Sprintf("disk-%d", m),
+				Model:  fmt.Sprintf("M%d", m),
+				Day:    day,
+			})
+		}
+	}
+	// One invalid entry must fail alone, not the batch.
+	req.Observations = append(req.Observations, ObservationRequest{Serial: "ghost"})
+	resp := postJSON(t, ts.URL+"/v1/observe/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out []BatchItemResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(req.Observations) {
+		t.Fatalf("%d results for %d observations", len(out), len(req.Observations))
+	}
+	for i, item := range out[:len(out)-1] {
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if item.Serial != req.Observations[i].Serial || item.Day != req.Observations[i].Day {
+			t.Fatalf("item %d misrouted: %+v", i, item)
+		}
+	}
+	if out[len(out)-1].Error == "" {
+		t.Fatal("invalid batch entry accepted")
+	}
+}
+
+func TestServerModels(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models) != 0 {
+		t.Fatalf("fresh server lists models: %+v", models)
+	}
+	postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Serial: "d1", Model: "MA", Day: 0})
+	postJSON(t, ts.URL+"/v1/observe", ObservationRequest{Serial: "d2", Model: "MB", Day: 0})
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].Model != "MA" || models[1].Model != "MB" {
+		t.Fatalf("models %+v", models)
+	}
+	if models[0].TrackedDisks != 1 {
+		t.Fatalf("models %+v", models)
+	}
+}
+
+func TestServerMethodNotAllowedJSON(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/observe -> %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow header %q", allow)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("405 body is not JSON: %v", err)
+	}
+	if body["error"] == "" {
+		t.Fatalf("405 body %v lacks error field", body)
+	}
+}
+
+func TestServerRejectsUnknownFields(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/json",
+		bytes.NewReader([]byte(`{"serial":"d1","model":"M","bogus":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field -> %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t)
+	big := make([]byte, maxBodyBytes+1024)
+	for i := range big {
+		big[i] = ' '
+	}
+	copy(big, `{"serial":"d1","model":"M"`)
+	big[len(big)-1] = '}'
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body -> %d, want 413", resp.StatusCode)
 	}
 }
 
