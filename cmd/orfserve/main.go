@@ -13,7 +13,15 @@
 // finish, mailboxes drain, a final snapshot is taken, and the process
 // exits 0.
 //
-//	orfserve -addr :8080 -data /var/lib/orfserve -snapshot-every 1m
+// Observability: every instance serves Prometheus text metrics at
+// GET /metrics on the API listener. -metrics-addr moves /metrics (and,
+// with -pprof, the net/http/pprof handlers) to a separate admin
+// listener so the profiling surface is never exposed on the public
+// port. Structured logs go to stderr via log/slog; -log-level selects
+// the verbosity (debug logs every request).
+//
+//	orfserve -addr :8080 -data /var/lib/orfserve -snapshot-every 1m \
+//	         -metrics-addr :9090 -pprof -log-level info
 //
 //	curl -s localhost:8080/v1/observe -d '{
 //	  "serial":"Z302T4N9","model":"ST4000DM000","day":812,
@@ -26,6 +34,7 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/models
 //	curl -s 'localhost:8080/v1/importance?model=ST4000DM000'
+//	curl -s localhost:9090/metrics
 package main
 
 import (
@@ -33,28 +42,46 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"orfdisk"
+	"orfdisk/internal/metrics"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		trees     = flag.Int("trees", 30, "ensemble size T per drive model")
-		lambdaN   = flag.Float64("lambdan", 0.02, "negative-class Poisson rate λn")
-		threshold = flag.Float64("threshold", 0.5, "alarm probability threshold")
-		horizon   = flag.Int("horizon", 7, "prediction window in days")
-		dataDir   = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
-		snapEvery = flag.Duration("snapshot-every", time.Minute, "snapshot interval (with -data)")
-		mailbox   = flag.Int("mailbox", 256, "per-model shard mailbox capacity")
+		addr        = flag.String("addr", ":8080", "listen address")
+		trees       = flag.Int("trees", 30, "ensemble size T per drive model")
+		lambdaN     = flag.Float64("lambdan", 0.02, "negative-class Poisson rate λn")
+		threshold   = flag.Float64("threshold", 0.5, "alarm probability threshold")
+		horizon     = flag.Int("horizon", 7, "prediction window in days")
+		dataDir     = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "snapshot interval (with -data)")
+		mailbox     = flag.Int("mailbox", 256, "per-model shard mailbox capacity")
+		metricsAddr = flag.String("metrics-addr", "", "separate admin listener for /metrics and pprof; empty serves /metrics on -addr")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -metrics-addr)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
 
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "orfserve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	if *pprofOn && *metricsAddr == "" {
+		logger.Error("-pprof requires -metrics-addr: refusing to expose profiling on the public listener")
+		os.Exit(2)
+	}
+
+	reg := metrics.NewRegistry()
 	eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{
 		Predictor: orfdisk.Config{
 			Threshold: *threshold,
@@ -64,9 +91,11 @@ func main() {
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
 		Mailbox:       *mailbox,
+		Metrics:       reg,
+		Logger:        logger,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "orfserve: recovery failed:", err)
+		logger.Error("recovery failed", "err", err)
 		os.Exit(1)
 	}
 	srv := orfdisk.NewServerWithEngine(eng)
@@ -79,15 +108,45 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	var adminSrv *http.Server
+	if *metricsAddr != "" {
+		// A dedicated mux, never http.DefaultServeMux: importing pprof's
+		// handlers explicitly keeps the public listener free of them.
+		admin := http.NewServeMux()
+		admin.Handle("/metrics", reg.Handler())
+		if *pprofOn {
+			admin.HandleFunc("/debug/pprof/", pprof.Index)
+			admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		adminSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           admin,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("admin listener up", "addr", *metricsAddr, "pprof", *pprofOn)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "orfserve: shutting down")
+		logger.Info("shutting down")
 		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "orfserve: shutdown:", err)
+			logger.Warn("shutdown", "err", err)
+		}
+		if adminSrv != nil {
+			if err := adminSrv.Shutdown(shCtx); err != nil {
+				logger.Warn("admin shutdown", "err", err)
+			}
 		}
 	}()
 
@@ -95,18 +154,18 @@ func main() {
 	if durable == "" {
 		durable = "disabled"
 	}
-	fmt.Fprintf(os.Stderr,
-		"orfserve: listening on %s (T=%d, λn=%g, threshold=%g, horizon=%dd, durability=%s)\n",
-		*addr, *trees, *lambdaN, *threshold, *horizon, durable)
+	logger.Info("listening", "addr", *addr,
+		"trees", *trees, "lambda_n", *lambdaN, "threshold", *threshold,
+		"horizon_days", *horizon, "durability", durable)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "orfserve:", err)
+		logger.Error("listen failed", "err", err)
 		os.Exit(1)
 	}
 	<-shutdownDone
 	// Drain shard mailboxes, take the final snapshot, close the WAL.
 	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "orfserve: close:", err)
+		logger.Error("close failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "orfserve: clean shutdown")
+	logger.Info("clean shutdown")
 }

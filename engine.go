@@ -2,10 +2,12 @@ package orfdisk
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"orfdisk/internal/engine"
+	"orfdisk/internal/metrics"
 	"orfdisk/internal/wal"
 )
 
@@ -36,6 +39,9 @@ type Engine struct {
 	cfg  EngineConfig
 	pool *engine.Pool[*shardState]
 	wal  *wal.WAL
+	reg  *metrics.Registry
+	met  engineMetrics
+	log  *slog.Logger
 
 	mu      sync.RWMutex
 	modelOf map[string]string // serial -> drive model routing memory
@@ -79,6 +85,13 @@ type EngineConfig struct {
 	SegmentBytes int64
 	SyncEvery    int
 	SyncInterval time.Duration
+	// Metrics receives the engine's instrumentation (engine_*, wal_*
+	// and per-model families; the HTTP layer adds http_* when serving).
+	// Nil creates a private registry, reachable via MetricsRegistry.
+	Metrics *metrics.Registry
+	// Logger receives structured engine events (recovery, snapshots,
+	// replay skips). Nil discards them.
+	Logger *slog.Logger
 }
 
 type shardState struct {
@@ -86,13 +99,64 @@ type shardState struct {
 	// lastSeq is the WAL sequence number of the last record applied to
 	// this shard. Only the shard's worker touches it.
 	lastSeq uint64
+	// firstUnsnapped is the lowest WAL sequence number applied to this
+	// shard since its last snapshot (0 = every applied record is
+	// covered by a snapshot). It is the shard's contribution to the WAL
+	// truncation cutoff. Only the shard's worker touches it.
+	firstUnsnapped uint64
 }
+
+// engineMetrics is the engine-level instrument set (the pool and WAL
+// register their own families on the same registry).
+type engineMetrics struct {
+	ingests         *metrics.Counter
+	ingestErrors    *metrics.Counter
+	snapshots       *metrics.Counter
+	snapshotErrors  *metrics.Counter
+	snapshotSeconds *metrics.Histogram
+	snapshotBytes   *metrics.Gauge
+	replayed        *metrics.Counter
+	replaySkipped   *metrics.Counter
+}
+
+func newEngineMetrics(reg *metrics.Registry) engineMetrics {
+	return engineMetrics{
+		ingests:         reg.Counter("engine_ingests_total", "Observations applied on shard workers (WAL append + predictor update)."),
+		ingestErrors:    reg.Counter("engine_ingest_errors_total", "Observations that failed on a shard worker (WAL append or predictor error)."),
+		snapshots:       reg.Counter("engine_snapshots_total", "Completed engine snapshot passes."),
+		snapshotErrors:  reg.Counter("engine_snapshot_errors_total", "Failed engine snapshot passes."),
+		snapshotSeconds: reg.Histogram("engine_snapshot_seconds", "Wall time of one snapshot pass (all models)."),
+		snapshotBytes:   reg.Gauge("engine_snapshot_bytes", "Bytes written by the most recent snapshot pass."),
+		replayed:        reg.Counter("engine_recovery_replayed_records_total", "WAL records replayed during crash recovery."),
+		replaySkipped:   reg.Counter("engine_recovery_skipped_records_total", "WAL records skipped during recovery because the predictor rejected them (poison pills)."),
+	}
+}
+
+// noopLogHandler discards every record (log/slog has no stdlib discard
+// handler until Go 1.24).
+type noopLogHandler struct{}
+
+func (noopLogHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopLogHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopLogHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopLogHandler{} }
+func (noopLogHandler) WithGroup(string) slog.Handler             { return noopLogHandler{} }
 
 // NewEngine creates an engine, running crash recovery first when
 // cfg.DataDir is set.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(noopLogHandler{})
+	}
 	e := &Engine{
 		cfg:       cfg,
+		reg:       reg,
+		met:       newEngineMetrics(reg),
+		log:       logger,
 		modelOf:   make(map[string]string),
 		recovered: make(map[string]*shardState),
 		snapped:   make(map[string]uint64),
@@ -100,7 +164,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.pool = engine.New(engine.Config{
 		Mailbox:        cfg.Mailbox,
 		EnqueueTimeout: cfg.EnqueueTimeout,
+		Metrics:        reg,
 	}, e.newShard)
+	e.registerModelGauges()
 	if cfg.DataDir != "" {
 		if err := e.recover(); err != nil {
 			e.pool.Close()
@@ -117,6 +183,42 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// registerModelGauges surfaces per-model predictor counters from
+// Stats() as scrape-time gauge families labeled by drive model.
+func (e *Engine) registerModelGauges() {
+	type statFn struct {
+		name, help string
+		fn         func(ModelStats) float64
+	}
+	for _, s := range []statFn{
+		{"engine_model_updates", "Online forest updates absorbed, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.Updates) }},
+		{"engine_model_positives_seen", "Positive (failure) samples learned, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.PosSeen) }},
+		{"engine_model_negatives_seen", "Negative samples learned, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.NegSeen) }},
+		{"engine_model_trees_replaced", "Trees discarded and regrown by online unlearning, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.Replaced) }},
+		{"engine_model_nodes", "Total tree nodes in the forest, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.Nodes) }},
+		{"engine_model_tracked_disks", "Disks with live labeling queues, per drive model.",
+			func(ms ModelStats) float64 { return float64(ms.Tracked) }},
+	} {
+		s := s
+		e.reg.GaugeFuncVec(s.name, s.help, []string{"model"},
+			func(emit func(v float64, labelValues ...string)) {
+				for _, ms := range e.Stats() {
+					emit(s.fn(ms), ms.Model)
+				}
+			})
+	}
+}
+
+// MetricsRegistry returns the registry holding the engine's metric
+// families (engine_*, wal_*, engine_model_*); serve its Handler — or
+// mount Server.Handler, which includes it at GET /metrics.
+func (e *Engine) MetricsRegistry() *metrics.Registry { return e.reg }
 
 func (e *Engine) newShard(model string) *shardState {
 	if st, ok := e.recovered[model]; ok {
@@ -136,26 +238,35 @@ func (e *Engine) snapshotLoop(every time.Duration) {
 		case <-t.C:
 			// Best effort; the next tick (or Close) retries, and an
 			// unsnapshotted suffix stays covered by the WAL.
-			e.Snapshot() //nolint:errcheck
+			if err := e.Snapshot(); err != nil {
+				e.log.Error("periodic snapshot failed", "err", err)
+			}
 		}
 	}
 }
 
-// resolveModel fills in obs.Model from the engine's routing memory (and
-// records first-seen routes), mirroring Fleet.Ingest's rules.
-func (e *Engine) resolveModel(obs *FleetObservation) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// resolveModel fills in obs.Model from the engine's routing memory,
+// mirroring Fleet.Ingest's rules. It only reads: a first-seen route is
+// committed by apply once the observation is durably applied, so a shed
+// or failed observation leaves no phantom route behind (recovery could
+// never reconstruct one — the WAL has no record of it). pending holds
+// routes earlier in the same batch that have not been applied yet; nil
+// for single-observation paths.
+func (e *Engine) resolveModel(obs *FleetObservation, pending map[string]string) error {
+	e.mu.RLock()
+	known, ok := e.modelOf[obs.Serial]
+	e.mu.RUnlock()
+	if !ok {
+		known, ok = pending[obs.Serial]
+	}
 	if obs.Model == "" {
-		known, ok := e.modelOf[obs.Serial]
 		if !ok {
 			return fmt.Errorf("orfdisk: observation for %q has no model", obs.Serial)
 		}
 		obs.Model = known
-	} else if prev, ok := e.modelOf[obs.Serial]; ok && prev != obs.Model {
-		return fmt.Errorf("orfdisk: disk %q changed model %q -> %q", obs.Serial, prev, obs.Model)
+	} else if ok && known != obs.Model {
+		return fmt.Errorf("orfdisk: disk %q changed model %q -> %q", obs.Serial, known, obs.Model)
 	}
-	e.modelOf[obs.Serial] = obs.Model
 	return nil
 }
 
@@ -175,12 +286,25 @@ func (e *Engine) apply(s *shardState, obs FleetObservation) (Prediction, error) 
 	if e.wal != nil {
 		seq, err := e.wal.Append(encodeObserveRecord(obs))
 		if err != nil {
+			e.met.ingestErrors.Inc()
 			return Prediction{}, err
 		}
 		s.lastSeq = seq
+		if s.firstUnsnapped == 0 {
+			s.firstUnsnapped = seq
+		}
 	}
+	// The observation is durable (or the engine is memory-only): commit
+	// the serial->model route. Doing this before the WAL append would
+	// leave phantom routes behind shed or failed requests that recovery
+	// cannot reconstruct.
+	e.mu.Lock()
+	e.modelOf[obs.Serial] = obs.Model
+	e.mu.Unlock()
+	e.met.ingests.Inc()
 	pred, err := s.p.Ingest(obs.Observation)
 	if err != nil {
+		e.met.ingestErrors.Inc()
 		return pred, err
 	}
 	if obs.Failed {
@@ -198,7 +322,7 @@ func (e *Engine) Ingest(obs FleetObservation) (Prediction, error) {
 	if err := e.validate(obs); err != nil {
 		return Prediction{}, err
 	}
-	if err := e.resolveModel(&obs); err != nil {
+	if err := e.resolveModel(&obs, nil); err != nil {
 		return Prediction{}, err
 	}
 	var (
@@ -227,15 +351,20 @@ func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
 	res := make([]BatchResult, len(batch))
 	groups := make(map[string][]int)
 	order := make([]string, 0, 4)
+	// pending carries first-seen routes from earlier entries of this
+	// batch so a later entry can omit the model, without committing
+	// anything to routing memory before the observations are applied.
+	pending := make(map[string]string)
 	for i := range batch {
 		if err := e.validate(batch[i]); err != nil {
 			res[i].Err = err
 			continue
 		}
-		if err := e.resolveModel(&batch[i]); err != nil {
+		if err := e.resolveModel(&batch[i], pending); err != nil {
 			res[i].Err = err
 			continue
 		}
+		pending[batch[i].Serial] = batch[i].Model
 		m := batch[i].Model
 		if _, ok := groups[m]; !ok {
 			order = append(order, m)
@@ -281,6 +410,9 @@ func (e *Engine) Retire(serial string) error {
 				return
 			}
 			s.lastSeq = seq
+			if s.firstUnsnapped == 0 {
+				s.firstUnsnapped = seq
+			}
 		}
 		s.p.Retire(serial)
 		e.mu.Lock()
@@ -329,45 +461,84 @@ func (e *Engine) Importance(model string) (imp []FeatureImportance, ok bool) {
 }
 
 // Snapshot atomically persists every shard's full state (model +
-// labeling queues) and truncates the WAL up to the oldest snapshot
-// sequence number. A no-op without a DataDir.
+// labeling queues) and truncates the WAL up to the lowest sequence
+// number not covered by a snapshot. A no-op without a DataDir.
 func (e *Engine) Snapshot() error {
 	if e.wal == nil {
 		return nil
 	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
+	start := time.Now()
 	models := e.pool.Keys()
 	if len(models) == 0 {
 		return nil
 	}
-	cutoff := uint64(math.MaxUint64)
+	var totalBytes int64
 	for _, model := range models {
 		var (
-			seq  uint64
-			serr error
+			seq   uint64
+			bytes int64
+			serr  error
 		)
 		if err := e.pool.Query(model, func(s *shardState) {
 			seq = s.lastSeq
 			if prev, ok := e.snapped[model]; ok && prev == seq {
 				return // unchanged since last snapshot
 			}
-			serr = writeSnapshot(e.cfg.DataDir, model, s)
+			bytes, serr = writeSnapshot(e.cfg.DataDir, model, s)
+			if serr == nil {
+				// Everything applied so far is covered; records the
+				// worker applies after this closure re-arm it.
+				s.firstUnsnapped = 0
+			}
 		}); err != nil {
+			e.met.snapshotErrors.Inc()
 			return err
 		}
 		if serr != nil {
+			e.met.snapshotErrors.Inc()
+			e.log.Error("snapshot failed", "model", model, "err", serr)
 			return serr
 		}
 		e.snapped[model] = seq
-		if seq < cutoff {
-			cutoff = seq
+		totalBytes += bytes
+	}
+	// Truncation cutoff: the smallest WAL sequence number some shard has
+	// applied but not yet snapshotted. An idle shard contributes nothing
+	// (its whole history is covered by its snapshot), so it can no
+	// longer pin the WAL at its ancient lastSeq while busy models grow
+	// the log without bound. The NextSeq fallback is captured BEFORE the
+	// read-back sweep below: appends and these reads serialize on each
+	// shard's worker, so a record applied after its shard was read
+	// carries a sequence number at or above the fallback, keeping the
+	// cutoff conservative.
+	cutoff := e.wal.NextSeq()
+	for _, model := range models {
+		if err := e.pool.Query(model, func(s *shardState) {
+			if s.firstUnsnapped != 0 && s.firstUnsnapped < cutoff {
+				cutoff = s.firstUnsnapped
+			}
+		}); err != nil {
+			e.met.snapshotErrors.Inc()
+			return err
 		}
 	}
 	if err := e.wal.Sync(); err != nil {
+		e.met.snapshotErrors.Inc()
 		return err
 	}
-	return e.wal.TruncateBefore(cutoff + 1)
+	if err := e.wal.TruncateBefore(cutoff); err != nil {
+		e.met.snapshotErrors.Inc()
+		return err
+	}
+	e.met.snapshots.Inc()
+	e.met.snapshotSeconds.Observe(time.Since(start).Seconds())
+	e.met.snapshotBytes.Set(float64(totalBytes))
+	e.log.Info("snapshot complete",
+		"models", len(models), "bytes", totalBytes,
+		"cutoff", cutoff, "elapsed", time.Since(start))
+	return nil
 }
 
 // Close drains all shard mailboxes, takes a final snapshot (when
@@ -434,6 +605,7 @@ func (e *Engine) recover() error {
 		SegmentBytes: e.cfg.SegmentBytes,
 		SyncEvery:    e.cfg.SyncEvery,
 		SyncInterval: e.cfg.SyncInterval,
+		Metrics:      e.reg,
 	})
 	if err != nil {
 		return err
@@ -472,12 +644,27 @@ func (e *Engine) recover() error {
 			if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
 				_, ierr = s.p.Ingest(rec.obs.Observation)
 				s.lastSeq = seq
+				if s.firstUnsnapped == 0 {
+					s.firstUnsnapped = seq
+				}
 			}); err != nil {
 				return err
 			}
 			if ierr != nil {
-				return fmt.Errorf("orfdisk: replaying seq %d: %w", seq, ierr)
+				// A record the predictor rejects is a poison pill, not
+				// a reason to refuse to start: the live path already
+				// surfaced this exact error to the client (apply
+				// appends before Ingest, so the record persisted), and
+				// replaying it fails the same deterministic way.
+				// Aborting here would brick the deployment — every
+				// restart replays the same record and dies. Count it,
+				// log it, move on; state matches the live run exactly.
+				e.met.replaySkipped.Inc()
+				e.log.Warn("wal replay: predictor rejected record; skipping",
+					"seq", seq, "model", rec.obs.Model, "serial", rec.obs.Serial, "err", ierr)
+				return nil
 			}
+			e.met.replayed.Inc()
 			if rec.obs.Failed {
 				e.mu.Lock()
 				delete(e.modelOf, rec.obs.Serial)
@@ -487,12 +674,16 @@ func (e *Engine) recover() error {
 			if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
 				s.p.Retire(rec.obs.Serial)
 				s.lastSeq = seq
+				if s.firstUnsnapped == 0 {
+					s.firstUnsnapped = seq
+				}
 			}); err != nil {
 				return err
 			}
 			e.mu.Lock()
 			delete(e.modelOf, rec.obs.Serial)
 			e.mu.Unlock()
+			e.met.replayed.Inc()
 		default:
 			return fmt.Errorf("orfdisk: unknown WAL record kind %d at seq %d", rec.kind, seq)
 		}
@@ -503,6 +694,10 @@ func (e *Engine) recover() error {
 	}
 	// Never reuse sequence numbers a snapshot already accounts for.
 	w.SkipTo(maxSnap + 1)
+	e.log.Info("recovery complete",
+		"snapshots", len(e.recovered),
+		"replayed", e.met.replayed.Value(),
+		"skipped", e.met.replaySkipped.Value())
 	return nil
 }
 
@@ -510,14 +705,15 @@ func snapName(model string) string {
 	return snapPrefix + hex.EncodeToString([]byte(model)) + snapSuffix
 }
 
-func writeSnapshot(dir, model string, s *shardState) error {
+func writeSnapshot(dir, model string, s *shardState) (int64, error) {
 	final := filepath.Join(dir, snapName(model))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	bw := bufio.NewWriter(f)
+	var size int64
 	werr := func() error {
 		if _, err := io.WriteString(bw, snapMagic); err != nil {
 			return err
@@ -537,7 +733,11 @@ func writeSnapshot(dir, model string, s *shardState) error {
 		if err := s.p.SaveState(bw); err != nil {
 			return err
 		}
-		return bw.Flush()
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		size, err = f.Seek(0, io.SeekCurrent)
+		return err
 	}()
 	if werr == nil {
 		werr = f.Sync()
@@ -547,10 +747,10 @@ func writeSnapshot(dir, model string, s *shardState) error {
 	}
 	if werr != nil {
 		os.Remove(tmp)
-		return werr
+		return 0, werr
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return err
+		return 0, err
 	}
 	// Persist the rename itself (best effort; not all filesystems
 	// support directory fsync).
@@ -558,7 +758,7 @@ func writeSnapshot(dir, model string, s *shardState) error {
 		d.Sync() //nolint:errcheck
 		d.Close()
 	}
-	return nil
+	return size, nil
 }
 
 func loadSnapshot(path string) (model string, st *shardState, err error) {

@@ -8,9 +8,11 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"orfdisk/internal/dataset"
 	"orfdisk/internal/smart"
+	"orfdisk/internal/wal"
 )
 
 // engineStream builds a chronological FleetObservation stream from a
@@ -420,5 +422,223 @@ func TestEngineBatch(t *testing.T) {
 	}
 	if got := eng.Models(); len(got) != 2 {
 		t.Fatalf("models after batch: %v", got)
+	}
+}
+
+// TestEngineRecoverySkipsPoisonPill is the regression test for the
+// poison-pill replay bug: apply appends the WAL record before
+// Predictor.Ingest, so a record the predictor rejects persists in the
+// log. Recovery used to abort on that record — the process could never
+// start again. It must instead skip it (the live path already surfaced
+// the error to the client) and count it.
+func TestEngineRecoverySkipsPoisonPill(t *testing.T) {
+	cfg := engineTestConfig()
+	dir := t.TempDir()
+	values := make([]float64, CatalogSize())
+	eng1, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		if _, err := eng1.Ingest(FleetObservation{
+			Model:       "M",
+			Observation: Observation{Serial: "d1", Day: day, Values: values},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plant a poison pill: a durable record the predictor will reject
+	// (wrong vector width — e.g. written by a binary with a different
+	// feature catalog). Engine.validate guards the live path, but the
+	// record type is shared, so replay sees it raw.
+	w, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := FleetObservation{
+		Model:       "M",
+		Observation: Observation{Serial: "px", Day: 9, Values: []float64{1, 2, 3}},
+	}
+	if _, err := w.Append(encodeObserveRecord(poison)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatalf("recovery aborted on a poison-pill record: %v", err)
+	}
+	defer eng2.Close()
+	if got := eng2.met.replaySkipped.Value(); got != 1 {
+		t.Fatalf("replay skipped %d records, want 1", got)
+	}
+	if got := eng2.met.replayed.Value(); got != 3 {
+		t.Fatalf("replayed %d records, want 3", got)
+	}
+	// The engine must be fully serviceable afterwards.
+	if _, err := eng2.Ingest(FleetObservation{
+		Model:       "M",
+		Observation: Observation{Serial: "d1", Day: 3, Values: values},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineIdleShardDoesNotPinWAL is the regression test for the
+// truncation-pinning bug: the cutoff used to be the min lastSeq across
+// all shards, so one idle model recovered at a low sequence pinned
+// TruncateBefore forever and the WAL grew without bound.
+func TestEngineIdleShardDoesNotPinWAL(t *testing.T) {
+	cfg := engineTestConfig()
+	dir := t.TempDir()
+	values := make([]float64, CatalogSize())
+	eng1, err := NewEngine(EngineConfig{
+		Predictor:    cfg,
+		DataDir:      dir,
+		SegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The idle model: one observation, snapshotted at a low sequence.
+	if _, err := eng1.Ingest(FleetObservation{
+		Model:       "IDLE",
+		Observation: Observation{Serial: "i1", Day: 0, Values: values},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Close(); err != nil { // snapshots IDLE at seq 1
+		t.Fatal(err)
+	}
+	// Restart: IDLE recovers from its snapshot at lastSeq 1 and never
+	// sees traffic again, while BUSY churns the log.
+	eng2, err := NewEngine(EngineConfig{
+		Predictor:    cfg,
+		DataDir:      dir,
+		SegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	for day := 0; day < 200; day++ {
+		if _, err := eng2.Ingest(FleetObservation{
+			Model:       "BUSY",
+			Observation: Observation{Serial: "b1", Day: day, Values: values},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(before) < 3 {
+		t.Fatalf("expected several segments before snapshot, got %d", len(before))
+	}
+	if err := eng2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(after) != 1 {
+		t.Fatalf("idle shard pinned WAL truncation: %d -> %d segments, want 1 (the active segment)",
+			len(before), len(after))
+	}
+	// Durability must survive the aggressive truncation: crash now and
+	// recover purely from snapshots + remaining suffix.
+	eng3, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng3.Close()
+	models := eng3.Models()
+	if len(models) != 2 {
+		t.Fatalf("recovered models %v, want BUSY and IDLE", models)
+	}
+	for _, ms := range eng3.Stats() {
+		if ms.Tracked != 1 {
+			t.Fatalf("model %s recovered %d tracked disks, want 1", ms.Model, ms.Tracked)
+		}
+	}
+}
+
+// TestEngineShedRequestLeavesNoRoute is the regression test for the
+// phantom-routing bug: resolveModel used to record the serial->model
+// route before enqueue, so an observation shed with ErrBusy still
+// mutated routing memory that recovery would never reconstruct.
+func TestEngineShedRequestLeavesNoRoute(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Predictor:      engineTestConfig(),
+		Mailbox:        1,
+		EnqueueTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	values := make([]float64, CatalogSize())
+
+	// Wedge model M's shard worker and fill its 1-slot mailbox so the
+	// next ingest sheds.
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	if err := eng.pool.Submit("M", func(*shardState) {
+		close(stalled)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-stalled
+	if err := eng.pool.Submit("M", func(*shardState) {}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Ingest(FleetObservation{
+		Model:       "M",
+		Observation: Observation{Serial: "s1", Day: 0, Values: values},
+	})
+	if err != ErrBusy {
+		t.Fatalf("ingest on a wedged shard: %v, want ErrBusy", err)
+	}
+	close(release)
+
+	// The shed observation never reached the shard: no route may exist.
+	if _, err := eng.Ingest(FleetObservation{
+		Observation: Observation{Serial: "s1", Day: 1, Values: values},
+	}); err == nil {
+		t.Fatal("shed request left a phantom serial->model route behind")
+	}
+	// And a successfully applied observation must still create one.
+	if _, err := eng.Ingest(FleetObservation{
+		Model:       "M",
+		Observation: Observation{Serial: "s1", Day: 1, Values: values},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Ingest(FleetObservation{
+		Observation: Observation{Serial: "s1", Day: 2, Values: values},
+	}); err != nil {
+		t.Fatalf("route missing after applied observation: %v", err)
+	}
+}
+
+// TestEngineBatchResolvesWithinBatch guards the batch-local routing
+// rule: a later entry may omit the model because an earlier entry of
+// the same batch names it, without committing routes before apply.
+func TestEngineBatchResolvesWithinBatch(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	values := make([]float64, CatalogSize())
+	res := eng.IngestBatch([]FleetObservation{
+		{Model: "A", Observation: Observation{Serial: "x", Day: 0, Values: values}},
+		{Observation: Observation{Serial: "x", Day: 1, Values: values}},             // resolves via batch
+		{Model: "B", Observation: Observation{Serial: "x", Day: 2, Values: values}}, // conflicts
+	})
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("batch-local resolution failed: %v, %v", res[0].Err, res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Fatal("model conflict within batch went undetected")
 	}
 }

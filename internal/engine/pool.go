@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"orfdisk/internal/metrics"
 )
 
 var (
@@ -33,6 +35,9 @@ type Config struct {
 	// EnqueueTimeout bounds how long Submit blocks on a full mailbox
 	// before returning ErrBusy. Default 50 ms.
 	EnqueueTimeout time.Duration
+	// Metrics receives the pool's instrumentation (engine_* families).
+	// Nil registers into a private registry.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() {
@@ -50,6 +55,7 @@ func (c *Config) fill() {
 type Pool[S any] struct {
 	cfg     Config
 	factory func(key string) S
+	met     poolMetrics
 
 	mu     sync.RWMutex
 	shards map[string]*shard[S]
@@ -61,16 +67,63 @@ type shard[S any] struct {
 	mbox chan func(S)
 }
 
+// poolMetrics is the pool's instrument set. Mailbox depth and shard
+// count are gauge functions read only at scrape time, so idle serving
+// pays nothing for them; the histograms cost two clock reads per
+// message on the paths they time.
+type poolMetrics struct {
+	enqueueWait *metrics.Histogram
+	handler     *metrics.Histogram
+	busy        *metrics.Counter
+}
+
 // New creates a pool whose shards are built by factory on first use.
 // The factory runs under the pool's lock: it must not call back into
 // the pool.
 func New[S any](cfg Config, factory func(key string) S) *Pool[S] {
 	cfg.fill()
-	return &Pool[S]{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := &Pool[S]{
 		cfg:     cfg,
 		factory: factory,
 		shards:  make(map[string]*shard[S]),
+		met: poolMetrics{
+			enqueueWait: reg.Histogram("engine_enqueue_wait_seconds",
+				"Time spent blocked on a full shard mailbox before enqueue (only contended enqueues are observed)."),
+			handler: reg.Histogram("engine_handler_seconds",
+				"Shard worker time spent executing one unit of work."),
+			busy: reg.Counter("engine_busy_total",
+				"Work rejected with ErrBusy because a shard mailbox stayed full past the enqueue timeout."),
+		},
 	}
+	reg.GaugeFunc("engine_shards", "Live shard workers.", func() float64 {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		return float64(len(p.shards))
+	})
+	reg.GaugeFuncVec("engine_shard_mailbox_depth",
+		"Pending work per shard mailbox, sampled at scrape time.",
+		[]string{"shard"},
+		func(emit func(v float64, labelValues ...string)) {
+			p.mu.RLock()
+			keys := make([]string, 0, len(p.shards))
+			for k := range p.shards {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			depths := make([]int, len(keys))
+			for i, k := range keys {
+				depths[i] = len(p.shards[k].mbox)
+			}
+			p.mu.RUnlock()
+			for i, k := range keys {
+				emit(float64(depths[i]), k)
+			}
+		})
+	return p
 }
 
 func (p *Pool[S]) shardFor(key string, create bool) (*shard[S], error) {
@@ -101,7 +154,9 @@ func (p *Pool[S]) shardFor(key string, create bool) (*shard[S], error) {
 	go func() {
 		defer p.wg.Done()
 		for fn := range sh.mbox {
+			start := time.Now()
 			fn(state)
+			p.met.handler.Observe(time.Since(start).Seconds())
 		}
 	}()
 	return sh, nil
@@ -131,12 +186,15 @@ func (p *Pool[S]) send(sh *shard[S], fn func(S)) error {
 		return nil
 	default:
 	}
+	start := time.Now()
 	t := time.NewTimer(p.cfg.EnqueueTimeout)
 	defer t.Stop()
 	select {
 	case sh.mbox <- fn:
+		p.met.enqueueWait.Observe(time.Since(start).Seconds())
 		return nil
 	case <-t.C:
+		p.met.busy.Inc()
 		return ErrBusy
 	}
 }

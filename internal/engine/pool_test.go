@@ -2,10 +2,13 @@ package engine
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"orfdisk/internal/metrics"
 )
 
 type counter struct {
@@ -133,5 +136,120 @@ func TestKeysSorted(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("Keys() = %v, want %v", got, want)
 		}
+	}
+}
+
+// TestMailboxDepthGaugeStalledShard scrapes the per-shard mailbox depth
+// gauge while one shard's worker is wedged: the scrape must not block
+// on the stalled worker and must report the queued backlog.
+func TestMailboxDepthGaugeStalledShard(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(Config{Mailbox: 8, EnqueueTimeout: time.Millisecond, Metrics: reg},
+		func(string) int { return 0 })
+	defer p.Close()
+
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	if err := p.Submit("stuck", func(int) {
+		close(stalled)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-stalled // the worker is now inside the handler, not the mailbox
+	for i := 0; i < 5; i++ {
+		if err := p.Submit("stuck", func(int) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Do("idle", func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Error(err)
+		}
+		done <- sb.String()
+	}()
+	var out string
+	select {
+	case out = <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("scrape blocked on a stalled shard")
+	}
+	if !strings.Contains(out, `engine_shard_mailbox_depth{shard="stuck"} 5`) {
+		t.Fatalf("stalled shard backlog not reported:\n%s", out)
+	}
+	if !strings.Contains(out, `engine_shard_mailbox_depth{shard="idle"} 0`) {
+		t.Fatalf("idle shard depth not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "engine_shards 2") {
+		t.Fatalf("shard count gauge wrong:\n%s", out)
+	}
+	close(release)
+}
+
+// TestBusyCounterAndWaitHistogram: a full mailbox must bump
+// engine_busy_total on timeout, and a delayed-but-successful enqueue
+// must land one enqueue-wait observation.
+func TestBusyCounterAndWaitHistogram(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(Config{Mailbox: 1, EnqueueTimeout: 5 * time.Millisecond, Metrics: reg},
+		func(string) int { return 0 })
+	defer p.Close()
+
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	if err := p.Submit("k", func(int) {
+		close(stalled)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-stalled
+	if err := p.Submit("k", func(int) {}); err != nil { // fills the mailbox
+		t.Fatal(err)
+	}
+	if err := p.Submit("k", func(int) {}); err != ErrBusy {
+		t.Fatalf("overflow submit: %v, want ErrBusy", err)
+	}
+	busy := reg.Counter("engine_busy_total", "")
+	if busy.Value() != 1 {
+		t.Fatalf("engine_busy_total = %d, want 1", busy.Value())
+	}
+	close(release)
+}
+
+// TestEnqueueWaitHistogram: an enqueue that blocks on a full mailbox
+// and then succeeds must record one wait observation.
+func TestEnqueueWaitHistogram(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(Config{Mailbox: 1, EnqueueTimeout: 10 * time.Second, Metrics: reg},
+		func(string) int { return 0 })
+	defer p.Close()
+
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	if err := p.Submit("k", func(int) {
+		close(stalled)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-stalled
+	if err := p.Submit("k", func(int) {}); err != nil { // fills the mailbox
+		t.Fatal(err)
+	}
+	// Free the worker shortly after the next enqueue starts blocking.
+	time.AfterFunc(10*time.Millisecond, func() { close(release) })
+	if err := p.Submit("k", func(int) {}); err != nil {
+		t.Fatalf("delayed enqueue failed: %v", err)
+	}
+	wait := reg.Histogram("engine_enqueue_wait_seconds", "")
+	if wait.Count() == 0 {
+		t.Fatal("no enqueue-wait observation recorded for a contended enqueue")
 	}
 }

@@ -1,0 +1,357 @@
+// Package metrics is a dependency-free metrics layer for the serving
+// stack: counters, gauges and fixed-bucket histograms collected into a
+// Registry that renders the Prometheus text exposition format (0.0.4).
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost: an update is one or two atomic operations, never a
+//     lock or an allocation. Shard workers, the WAL flusher and HTTP
+//     handlers all update metrics concurrently.
+//  2. Scrape-time evaluation: values that already live in the system
+//     (mailbox depth, live segment count, forest statistics) are
+//     registered as gauge functions and read only when /metrics is
+//     scraped, so steady-state serving pays nothing for them.
+//  3. No global state: every subsystem takes a *Registry and falls back
+//     to a private one when none is supplied, so library users who
+//     never scrape pay only the atomic updates.
+//
+// Registration is idempotent: registering a name twice with the same
+// type and label names returns the existing instrument (so building an
+// http.Handler twice is safe); re-registering with a different shape
+// panics, as that is a programming error.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative-on-render buckets
+// and tracks their sum, matching the Prometheus histogram model.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds ("le")
+	counts []atomic.Uint64
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; the +Inf bucket is last.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefLatencyBuckets is the default latency bucket layout, in seconds:
+// 100µs up to 10s, roughly geometric.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n geometric bucket bounds starting at start.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// --- registry ---
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance inside a family; exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family is one named metric with a fixed label-name set.
+type family struct {
+	name, help string
+	kind       kind
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion-ordered keys for deterministic render
+
+	// collect, when set, makes this a function-backed gauge family:
+	// values are produced at scrape time and the series map is unused.
+	collect func(emit func(v float64, labelValues ...string))
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is a process-wide registry for callers that do not manage
+// their own. Subsystems in this repo always take an explicit registry;
+// Default exists for ad-hoc tools.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, k kind, labelNames []string, buckets []float64) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != k || !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s%v, was %s%v",
+				name, k, labelNames, f.kind, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		series:     make(map[string]*series),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or retrieves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// Gauge registers (or retrieves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// Histogram registers (or retrieves) an unlabeled histogram with the
+// given bucket upper bounds (DefLatencyBuckets when empty).
+func (r *Registry) Histogram(name, help string, buckets ...float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.GaugeFuncVec(name, help, nil, func(emit func(v float64, labelValues ...string)) {
+		emit(fn())
+	})
+}
+
+// GaugeFuncVec registers a labeled gauge family whose series are
+// produced at scrape time: collect is called once per scrape and emits
+// any number of (value, label values...) samples.
+func (r *Registry) GaugeFuncVec(name, help string, labelNames []string,
+	collect func(emit func(v float64, labelValues ...string))) {
+	f := r.register(name, help, kindGauge, labelNames, nil)
+	f.mu.Lock()
+	f.collect = collect
+	f.mu.Unlock()
+}
+
+// CounterVec registers (or retrieves) a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or retrieves) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. len(labelValues) must match the registered label names.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues).c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or retrieves) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues).g
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or retrieves) a labeled histogram family.
+// buckets defaults to DefLatencyBuckets when empty.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues).h
+}
+
+const labelSep = "\x1f"
+
+func seriesKey(labelValues []string) string {
+	switch len(labelValues) {
+	case 0:
+		return ""
+	case 1:
+		return labelValues[0]
+	}
+	n := 0
+	for _, v := range labelValues {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, v := range labelValues {
+		if i > 0 {
+			b = append(b, labelSep...)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := seriesKey(labelValues)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), labelValues...)}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}

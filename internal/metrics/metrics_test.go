@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE jobs_total counter", "jobs_total 5",
+		"# TYPE depth gauge", "depth 2.5",
+		"# HELP jobs_total jobs processed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", 0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.565", h.Sum())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`, // 0.005 and the boundary 0.01 (le is inclusive)
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests", "path", "code")
+	v.With("/v1/observe", "200").Add(7)
+	v.With(`/weird"path`+"\n", "503").Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `http_requests_total{path="/v1/observe",code="200"} 7`) {
+		t.Fatalf("labeled sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `http_requests_total{path="/weird\"path\n",code="503"} 1`) {
+		t.Fatalf("escaped sample missing:\n%s", out)
+	}
+	// Same label values return the same instrument.
+	if v.With("/v1/observe", "200").Value() != 7 {
+		t.Fatal("With did not return cached series")
+	}
+}
+
+func TestGaugeFuncVecScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	depth := map[string]int{"a": 2, "b": 0}
+	var mu sync.Mutex
+	r.GaugeFuncVec("mailbox_depth", "per-shard depth", []string{"shard"},
+		func(emit func(v float64, labelValues ...string)) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, k := range []string{"a", "b"} {
+				emit(float64(depth[k]), k)
+			}
+		})
+	out := render(t, r)
+	if !strings.Contains(out, `mailbox_depth{shard="a"} 2`) || !strings.Contains(out, `mailbox_depth{shard="b"} 0`) {
+		t.Fatalf("gauge func vec samples missing:\n%s", out)
+	}
+	mu.Lock()
+	depth["a"] = 9
+	mu.Unlock()
+	if !strings.Contains(render(t, r), `mailbox_depth{shard="a"} 9`) {
+		t.Fatal("gauge func not evaluated at scrape time")
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering identical metric did not return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	res2, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != 405 {
+		t.Fatalf("POST -> %d, want 405", res2.StatusCode)
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument type from many
+// goroutines while scraping; run under -race this is the data-race
+// proof for the whole package.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", 0.001, 0.01, 0.1)
+	vec := r.CounterVec("v_total", "", "i")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := strconv.Itoa(w % 3)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				vec.With(lbl).Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			render(t, r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+}
+
+// ValidatePromText is a minimal structural check of the exposition
+// format shared with the end-to-end server test: every non-comment line
+// must be `name{labels} value` with a parseable float value.
+func ValidatePromText(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = name[:i]
+		}
+		for _, c := range name {
+			if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+				t.Fatalf("bad metric name in %q", line)
+			}
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus
+// text; anything but GET is answered 405.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck // client went away
+	})
+}
+
+func (f *family) writeText(w *bufio.Writer) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.collect != nil {
+		f.collect(func(v float64, labelValues ...string) {
+			writeSample(w, f.name, "", f.labelNames, labelValues, "", formatFloat(v))
+		})
+		return
+	}
+	for _, key := range f.order {
+		s := f.series[key]
+		switch f.kind {
+		case kindCounter:
+			writeSample(w, f.name, "", f.labelNames, s.labelValues, "",
+				strconv.FormatUint(s.c.Value(), 10))
+		case kindGauge:
+			writeSample(w, f.name, "", f.labelNames, s.labelValues, "", formatFloat(s.g.Value()))
+		case kindHistogram:
+			h := s.h
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name, "_bucket", f.labelNames, s.labelValues,
+					formatFloat(bound), strconv.FormatUint(cum, 10))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			writeSample(w, f.name, "_bucket", f.labelNames, s.labelValues,
+				"+Inf", strconv.FormatUint(cum, 10))
+			writeSample(w, f.name, "_sum", f.labelNames, s.labelValues, "", formatFloat(h.Sum()))
+			writeSample(w, f.name, "_count", f.labelNames, s.labelValues, "",
+				strconv.FormatUint(h.Count(), 10))
+		}
+	}
+}
+
+// writeSample writes one line: name+suffix{labels,le="..."} value. le is
+// the histogram bucket bound ("" for none).
+func writeSample(w *bufio.Writer, name, suffix string, labelNames, labelValues []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labelNames) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(ln)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(labelValues[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labelNames) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -37,6 +37,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"orfdisk/internal/metrics"
 )
 
 const (
@@ -61,6 +63,10 @@ type Options struct {
 	// SyncInterval is the maximum time an appended record stays
 	// unsynced (enforced by a background flusher). Default 50 ms.
 	SyncInterval time.Duration
+	// Metrics receives the log's instrumentation (wal_* families). Nil
+	// registers into a private registry: the log is always counted, a
+	// caller just can't scrape it.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) fill() {
@@ -78,8 +84,33 @@ func (o *Options) fill() {
 // WAL is an open write-ahead log. Append, Sync, TruncateBefore and
 // Close are safe for concurrent use. Replay must complete before the
 // first Append.
+// walMetrics is the log's instrument set; see Open for the names.
+type walMetrics struct {
+	appendRecords *metrics.Counter
+	appendBytes   *metrics.Counter
+	fsyncs        *metrics.Counter
+	fsyncSeconds  *metrics.Histogram
+	rotations     *metrics.Counter
+	segments      *metrics.Gauge
+}
+
+func newWALMetrics(reg *metrics.Registry) walMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return walMetrics{
+		appendRecords: reg.Counter("wal_append_records_total", "Records appended to the write-ahead log."),
+		appendBytes:   reg.Counter("wal_append_bytes_total", "Bytes appended to the write-ahead log (headers included)."),
+		fsyncs:        reg.Counter("wal_fsync_total", "fsync calls issued by the write-ahead log."),
+		fsyncSeconds:  reg.Histogram("wal_fsync_seconds", "Write-ahead log fsync latency in seconds."),
+		rotations:     reg.Counter("wal_segment_rotations_total", "Write-ahead log segment rotations."),
+		segments:      reg.Gauge("wal_segments", "Live write-ahead log segment files."),
+	}
+}
+
 type WAL struct {
 	opts Options
+	met  walMetrics
 
 	mu       sync.Mutex
 	f        *os.File // current (last) segment, positioned at its end
@@ -113,6 +144,7 @@ func Open(opts Options) (*WAL, error) {
 	}
 	w := &WAL{
 		opts: opts,
+		met:  newWALMetrics(opts.Metrics),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -120,6 +152,7 @@ func Open(opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.met.segments.Set(float64(max(len(segs), 1)))
 	if len(segs) == 0 {
 		w.nextSeq = 1
 		if err := w.createSegment(1); err != nil {
@@ -217,6 +250,8 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.size += int64(rec)
 	w.nextSeq++
 	w.dirty++
+	w.met.appendRecords.Inc()
+	w.met.appendBytes.Add(uint64(rec))
 	if w.dirty >= w.opts.SyncEvery {
 		if err := w.syncLocked(); err != nil {
 			return 0, err
@@ -239,9 +274,12 @@ func (w *WAL) syncLocked() error {
 	if w.dirty == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.met.fsyncs.Inc()
+	w.met.fsyncSeconds.Observe(time.Since(start).Seconds())
 	w.dirty = 0
 	return nil
 }
@@ -253,7 +291,12 @@ func (w *WAL) rotateLocked() error {
 	if err := w.f.Close(); err != nil {
 		return err
 	}
-	return w.createSegment(w.nextSeq)
+	if err := w.createSegment(w.nextSeq); err != nil {
+		return err
+	}
+	w.met.rotations.Inc()
+	w.met.segments.Inc()
+	return nil
 }
 
 func (w *WAL) createSegment(firstSeq uint64) error {
@@ -306,6 +349,7 @@ func (w *WAL) TruncateBefore(seq uint64) error {
 		if err := os.Remove(segs[i].path); err != nil {
 			return err
 		}
+		w.met.segments.Dec()
 	}
 	return nil
 }
@@ -344,10 +388,11 @@ func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.closed = true
-	serr := w.f.Sync()
-	if w.dirty == 0 {
-		serr = nil
-	}
+	// Sync only when records are actually unsynced: the old code issued
+	// an unconditional fsync and then discarded its error whenever
+	// dirty == 0, which both wasted a syscall on every clean shutdown
+	// and conflated "nothing to sync" with "sync failed".
+	serr := w.syncLocked()
 	cerr := w.f.Close()
 	if serr != nil {
 		return serr

@@ -267,3 +267,136 @@ func TestEmptyDirOpen(t *testing.T) {
 		t.Fatalf("fresh NextSeq %d", w.NextSeq())
 	}
 }
+
+// TestCloseNoRedundantFsync is the regression test for the Close error
+// ordering bug: Close used to issue an unconditional fsync (and then
+// discard its result when dirty == 0). After an explicit Sync a clean
+// Close must not fsync again — observable through the fsync counter now
+// that Close routes through syncLocked.
+func TestCloseNoRedundantFsync(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.met.fsyncs.Value(); got != 1 {
+		t.Fatalf("fsyncs after Sync = %d, want 1", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.met.fsyncs.Value(); got != 1 {
+		t.Fatalf("clean Close issued a redundant fsync (count %d, want 1)", got)
+	}
+}
+
+// TestClosePropagatesSyncError: with unsynced records and a file that
+// cannot fsync (a pipe), Close must surface the sync failure instead of
+// losing it behind the close.
+func TestClosePropagatesSyncError(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	if _, err := w.Append([]byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	w.mu.Lock()
+	w.f.Close()
+	w.f = pw // fsync on a pipe fails (EINVAL)
+	w.mu.Unlock()
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the sync error for unsynced records")
+	}
+}
+
+// TestCloseIgnoresUnsyncableFileWhenClean: same broken file, but with
+// nothing dirty Close must not attempt (or report) a sync at all.
+func TestCloseIgnoresUnsyncableFileWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	if _, err := w.Append([]byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fsyncs := w.met.fsyncs.Value()
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	w.mu.Lock()
+	w.f.Close()
+	w.f = pw
+	w.mu.Unlock()
+	if err := w.Close(); err != nil {
+		t.Fatalf("clean Close failed on a file it had no reason to sync: %v", err)
+	}
+	if got := w.met.fsyncs.Value(); got != fsyncs {
+		t.Fatalf("clean Close attempted a sync (fsyncs %d -> %d)", fsyncs, got)
+	}
+}
+
+// TestFsyncCounter covers the group-commit accounting: SyncEvery
+// batches fsyncs, the counter reflects batches rather than records, and
+// latency observations accumulate alongside.
+func TestFsyncCounter(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 4, SyncInterval: time.Hour})
+	defer w.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := w.Append([]byte("abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.met.fsyncs.Value(); got != 3 {
+		t.Fatalf("fsyncs = %d, want 3 (12 records / SyncEvery 4)", got)
+	}
+	if got := w.met.fsyncSeconds.Count(); got != 3 {
+		t.Fatalf("fsync latency observations = %d, want 3", got)
+	}
+	if got := w.met.appendRecords.Value(); got != 12 {
+		t.Fatalf("append records = %d, want 12", got)
+	}
+	wantBytes := uint64(12 * (headerSize + 6))
+	if got := w.met.appendBytes.Value(); got != wantBytes {
+		t.Fatalf("append bytes = %d, want %d", got, wantBytes)
+	}
+}
+
+// TestSegmentMetrics tracks rotations and the live-segment gauge
+// through rotation and truncation.
+func TestSegmentMetrics(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SegmentBytes: 100})
+	defer w.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("%032d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := listSegments(dir)
+	if got := int(w.met.segments.Value()); got != len(segs) {
+		t.Fatalf("segment gauge %d, want %d", got, len(segs))
+	}
+	if w.met.rotations.Value() == 0 {
+		t.Fatal("no rotations counted despite tiny segments")
+	}
+	if err := w.TruncateBefore(21); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = listSegments(dir)
+	if got := int(w.met.segments.Value()); got != len(segs) {
+		t.Fatalf("segment gauge %d after truncation, want %d", got, len(segs))
+	}
+}

@@ -4,7 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
+
+	"orfdisk/internal/metrics"
 )
 
 // Server exposes an Engine behind an HTTP API, the deployment form a
@@ -25,11 +30,22 @@ import (
 //	GET  /v1/models         -> live shards (model, tracked disks, updates)
 //	GET  /v1/importance?model=M -> ranked feature importance
 //	GET  /healthz           -> 200 ok
+//	GET  /metrics           -> Prometheus text exposition
 //
 // Request bodies are limited to 1 MiB and decoded strictly (unknown
 // fields are rejected). All errors are JSON: {"error": "..."}.
+//
+// Every endpoint is instrumented: http_requests_total{path,code} and
+// http_request_seconds{path} land in the engine's metrics registry
+// alongside the engine_*, wal_* and engine_model_* families, all served
+// at GET /metrics. Requests are logged through the engine's logger at
+// Debug (5xx at Warn).
 type Server struct {
 	eng *Engine
+	log *slog.Logger
+
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
 }
 
 // maxBodyBytes caps every request body read by the server.
@@ -44,12 +60,23 @@ func NewServer(cfg Config) *Server {
 		// Unreachable: engine creation without a DataDir cannot fail.
 		panic(err)
 	}
-	return &Server{eng: eng}
+	return NewServerWithEngine(eng)
 }
 
 // NewServerWithEngine wraps an existing engine (typically a durable one
-// created with EngineConfig.DataDir).
-func NewServerWithEngine(e *Engine) *Server { return &Server{eng: e} }
+// created with EngineConfig.DataDir). The server shares the engine's
+// metrics registry and logger.
+func NewServerWithEngine(e *Engine) *Server {
+	reg := e.MetricsRegistry()
+	return &Server{
+		eng: e,
+		log: e.log,
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "path", "code"),
+		latency: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, "path"),
+	}
+}
 
 // Engine returns the serving engine behind the API.
 func (s *Server) Engine() *Engine { return s.eng }
@@ -121,32 +148,71 @@ type ModelInfo struct {
 	Updates      int64  `json:"updates"`
 }
 
-// Handler returns the http.Handler serving the API.
+// Handler returns the http.Handler serving the API, /metrics included.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	handle(mux, http.MethodPost, "/v1/observe", s.handleObserve)
-	handle(mux, http.MethodPost, "/v1/observe/batch", s.handleObserveBatch)
-	handle(mux, http.MethodPost, "/v1/retire", s.handleRetire)
-	handle(mux, http.MethodGet, "/v1/stats", s.handleStats)
-	handle(mux, http.MethodGet, "/v1/models", s.handleModels)
-	handle(mux, http.MethodGet, "/v1/importance", s.handleImportance)
-	handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, http.MethodPost, "/v1/observe", s.handleObserve)
+	s.handle(mux, http.MethodPost, "/v1/observe/batch", s.handleObserveBatch)
+	s.handle(mux, http.MethodPost, "/v1/retire", s.handleRetire)
+	s.handle(mux, http.MethodGet, "/v1/stats", s.handleStats)
+	s.handle(mux, http.MethodGet, "/v1/models", s.handleModels)
+	s.handle(mux, http.MethodGet, "/v1/importance", s.handleImportance)
+	s.handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.handle(mux, http.MethodGet, "/metrics", s.eng.MetricsRegistry().Handler().ServeHTTP)
 	return mux
+}
+
+// statusWriter captures the status code a handler writes so the
+// middleware can label metrics and logs with it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // handle registers h for exactly one method, answering anything else
 // with a JSON 405 and an Allow header (the default mux 405 is plain
-// text, and only for patterns that declare a method).
-func handle(mux *http.ServeMux, method, pattern string, h http.HandlerFunc) {
+// text, and only for patterns that declare a method), and wraps it in
+// the metrics/logging middleware: count and time every request by the
+// registered pattern — never by the raw URL, which would explode label
+// cardinality.
+func (s *Server) handle(mux *http.ServeMux, method, pattern string, h http.HandlerFunc) {
+	hist := s.latency.With(pattern)
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
 		if r.Method != method {
-			w.Header().Set("Allow", method)
-			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
-			return
+			sw.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed, "method not allowed")
+		} else {
+			h(sw, r)
 		}
-		h(w, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+		hist.Observe(elapsed.Seconds())
+		lvl := slog.LevelDebug
+		if sw.status >= 500 {
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(r.Context(), lvl, "http request",
+			"method", r.Method, "path", pattern, "status", sw.status,
+			"elapsed", elapsed, "remote", r.RemoteAddr)
 	})
 }
 

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -321,6 +324,98 @@ func TestServerConcurrentObserve(t *testing.T) {
 	for g := 0; g < 8; g++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerMetricsEndpoint drives a durable server end to end and
+// checks that /metrics reflects the traffic: HTTP request counts by
+// path and code, engine ingest counters, WAL appends, snapshot
+// counters, and the per-model gauges — in valid Prometheus text.
+func TestServerMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := NewEngine(EngineConfig{
+		Predictor: Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}},
+		DataDir:   dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWithEngine(eng)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	for day := 0; day < 4; day++ {
+		resp := postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+			Serial: "d1", Model: "ST4000", Day: day,
+			Norm: map[int]float64{187: 100}, Raw: map[int]float64{187: 0},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe status %d", resp.StatusCode)
+		}
+	}
+	// One rejected request so a non-200 code series exists.
+	resp := postJSON(t, ts.URL+"/v1/observe", map[string]any{"bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad observe status %d", resp.StatusCode)
+	}
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	for _, want := range []string{
+		`http_requests_total{path="/v1/observe",code="200"} 4`,
+		`http_requests_total{path="/v1/observe",code="400"} 1`,
+		"engine_ingests_total 4",
+		"wal_append_records_total 4",
+		"engine_snapshots_total 1",
+		`engine_model_updates{model="ST4000"}`,
+		`engine_model_tracked_disks{model="ST4000"} 1`,
+		"engine_shards 1",
+		"wal_segments 1",
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{path="/v1/observe",le="+Inf"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full /metrics output:\n%s", text)
+	}
+
+	// Structural sanity: every non-comment line is `name{labels} value`
+	// with a parseable float value.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
 		}
 	}
 }
