@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench fmt
+.PHONY: check vet build test race bench-engine bench bench-smoke fmt
 
 check: vet build test race bench-engine
 
@@ -24,7 +24,19 @@ race:
 bench-engine:
 	$(GO) test -run=NONE -bench=BenchmarkEngineIngest -benchtime=1x .
 
+# Ingest/serving perf baseline: run the allocation-sensitive hot-path
+# benchmarks 5x and record the per-benchmark minimum in
+# BENCH_ingest.json (see cmd/benchjson). Commit the refreshed file when
+# a PR moves these numbers so the perf trajectory stays reviewable.
+INGEST_BENCH = BenchmarkPredictorIngest$$|BenchmarkPredictorIngestBatch|BenchmarkLabelerSteadyState|BenchmarkUpdateBatch|BenchmarkEngineIngestBatch
+
 bench:
+	$(GO) test . -run '^$$' -bench '$(INGEST_BENCH)' -benchmem -count=5 -benchtime=2s \
+		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+
+# Smoke-run every benchmark in the repo (one iteration each): catches
+# benchmarks that no longer compile or crash, measures nothing.
+bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 fmt:

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON perf baseline: benchmark name -> {ns_per_op, b_per_op,
+// allocs_per_op, runs}. With -count>1 repetitions it records the
+// minimum per metric — the least-interfered-with run is the best
+// estimate of the code's cost on a noisy CI box. The `make bench`
+// target pipes the ingest/serving benchmarks through this tool into
+// BENCH_ingest.json so the perf trajectory is reviewable across PRs.
+//
+//	go test . -run '^$' -bench Ingest -benchmem -count=5 | benchjson -o BENCH_ingest.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// benchLine matches one result line: name, iteration count, then
+// "value unit" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// cpuSuffix is the "-8"-style GOMAXPROCS tag the testing package
+// appends to every benchmark name when running with more than one CPU.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	raw := map[string][]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the stream through so progress stays visible
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := result{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		if r.NsPerOp < 0 {
+			continue
+		}
+		raw[m[1]] = append(raw[m[1]], r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	merged := map[string]result{}
+	for name, runs := range raw {
+		min := runs[0]
+		for _, r := range runs[1:] {
+			if r.NsPerOp < min.NsPerOp {
+				min.NsPerOp = r.NsPerOp
+			}
+			if r.BytesPerOp < min.BytesPerOp {
+				min.BytesPerOp = r.BytesPerOp
+			}
+			if r.AllocsPerOp < min.AllocsPerOp {
+				min.AllocsPerOp = r.AllocsPerOp
+			}
+		}
+		min.Runs = len(runs)
+		// Metrics absent from the input (no -benchmem) record as zero,
+		// not as the -1 accumulator sentinel.
+		if min.BytesPerOp < 0 {
+			min.BytesPerOp = 0
+		}
+		if min.AllocsPerOp < 0 {
+			min.AllocsPerOp = 0
+		}
+		merged[stripCPU(name, raw)] = min
+	}
+
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(merged), *out)
+}
+
+// stripCPU removes the testing package's GOMAXPROCS suffix, but only
+// when every recorded name carries the same one — a name that merely
+// ends in digits (a sub-benchmark like "batch64" has no dash, but be
+// safe) must survive unchanged so baselines diff cleanly across
+// machines with different core counts.
+func stripCPU(name string, all map[string][]result) string {
+	suf := cpuSuffix.FindString(name)
+	if suf == "" {
+		return name
+	}
+	for n := range all {
+		if !strings.HasSuffix(n, suf) {
+			return name
+		}
+	}
+	return strings.TrimSuffix(name, suf)
+}

@@ -64,6 +64,8 @@ func main() {
 		dataDir     = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		snapEvery   = flag.Duration("snapshot-every", time.Minute, "snapshot interval (with -data)")
 		mailbox     = flag.Int("mailbox", 256, "per-model shard mailbox capacity")
+		batchBytes  = flag.Int64("batch-max-bytes", orfdisk.DefaultBatchMaxBytes, "request body cap for POST /v1/observe/batch (413 above)")
+		batchItems  = flag.Int("batch-max-items", orfdisk.DefaultBatchMaxItems, "max observations per POST /v1/observe/batch request (400 above)")
 		metricsAddr = flag.String("metrics-addr", "", "separate admin listener for /metrics and pprof; empty serves /metrics on -addr")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -metrics-addr)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
@@ -99,6 +101,7 @@ func main() {
 		os.Exit(1)
 	}
 	srv := orfdisk.NewServerWithEngine(eng)
+	srv.SetBatchLimits(*batchBytes, *batchItems)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

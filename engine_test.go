@@ -1,11 +1,13 @@
 package orfdisk
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -640,5 +642,316 @@ func TestEngineBatchResolvesWithinBatch(t *testing.T) {
 	}
 	if res[2].Err == nil {
 		t.Fatal("model conflict within batch went undetected")
+	}
+}
+
+// TestEngineBatchCrashRecovery is the crash-recovery test with
+// wal.AppendBatch in the durability path: feed the whole stream through
+// IngestBatch (so every multi-record shard group is framed as one
+// vectorized append), snapshot mid-way, crash with a torn WAL tail,
+// recover, and require bit-identical predictions/stats/scores against an
+// uninterrupted reference run.
+func TestEngineBatchCrashRecovery(t *testing.T) {
+	obs := engineStream(t, 24, 3)
+	cfg := engineTestConfig()
+	cut1, cut2 := len(obs)/3, 2*len(obs)/3
+
+	fleet := NewFleet(cfg)
+	refPred := make([]Prediction, len(obs))
+	for i, o := range obs {
+		p, err := fleet.Ingest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPred[i] = p
+	}
+
+	dir := t.TempDir()
+	eng1, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Varying batch sizes so shard groups of 1 (plain Append) and >1
+	// (AppendBatch) both land in the log.
+	ingestBatches := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; {
+			n := 1 + (i % 64)
+			if i+n > hi {
+				n = hi - i
+			}
+			for j, r := range eng1.IngestBatch(obs[i : i+n]) {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				if want := refPred[i+j]; !samePrediction(want, r.Prediction) {
+					t.Fatalf("batch divergence at obs %d (%s day %d):\nwant %+v\ngot  %+v",
+						i+j, obs[i+j].Serial, obs[i+j].Day, want, r.Prediction)
+				}
+			}
+			i += n
+		}
+	}
+	ingestBatches(0, cut1)
+	if err := eng1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingestBatches(cut1, cut2)
+	// Crash without Close; tear the WAL tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (err=%v)", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	eng2, err := NewEngine(EngineConfig{Predictor: cfg, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	for i, o := range obs[cut2:] {
+		got, err := eng2.Ingest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refPred[cut2+i]; !samePrediction(want, got) {
+			t.Fatalf("post-recovery divergence at obs %d (%s day %d):\nwant %+v\ngot  %+v",
+				cut2+i, o.Serial, o.Day, want, got)
+		}
+	}
+	for _, ms := range eng2.Stats() {
+		p := fleet.Predictor(ms.Model)
+		if p == nil {
+			t.Fatalf("recovered unknown model %s", ms.Model)
+		}
+		st := p.Stats()
+		if ms.Updates != st.Updates || ms.PosSeen != st.PosSeen ||
+			ms.NegSeen != st.NegSeen || ms.Nodes != st.Nodes ||
+			ms.Tracked != p.TrackedDisks() {
+			t.Fatalf("stats divergence for %s after recovery:\n%+v\n%+v", ms.Model, ms, st)
+		}
+	}
+	probe := make([]float64, CatalogSize())
+	for i := range probe {
+		probe[i] = float64(i) * 1.5
+	}
+	for _, model := range eng2.Models() {
+		var got float64
+		if err := eng2.pool.Query(model, func(s *shardState) {
+			got, _ = s.p.Score(probe)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want, err := fleet.Predictor(model).Score(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("score divergence for %s: %v vs %v", model, want, got)
+		}
+	}
+}
+
+// TestEngineConcurrentIngestStatsSnapshot is the race-targeted test:
+// writers hammer Ingest/IngestBatch while other goroutines read Stats
+// and force snapshots. Run under -race it guards the shard scratch,
+// routing map and snapshot bookkeeping against data races.
+func TestEngineConcurrentIngestStatsSnapshot(t *testing.T) {
+	const (
+		nModels = 4
+		writers = 4
+		days    = 30
+	)
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(),
+		DataDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, CatalogSize())
+	for i := range values {
+		values[i] = float64(i)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() { // snapshotter
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() { // stats reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eng.Stats()
+			eng.Models()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]FleetObservation, 0, nModels)
+			for day := 0; day < days; day++ {
+				batch = batch[:0]
+				for m := 0; m < nModels; m++ {
+					batch = append(batch, FleetObservation{
+						Model: fmt.Sprintf("MODEL-%d", m),
+						Observation: Observation{
+							Serial: fmt.Sprintf("disk-%d-%d", m, w),
+							Day:    day, Values: values,
+						},
+					})
+				}
+				if day%2 == 0 {
+					for _, r := range eng.IngestBatch(batch) {
+						if r.Err != nil {
+							errs <- r.Err
+							return
+						}
+					}
+					continue
+				}
+				for _, o := range batch {
+					if _, err := eng.Ingest(o); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveRecordRoundTrip pins the v2 varint observe codec: every
+// float bit pattern the fleet can produce must round-trip exactly
+// (bit-identical recovery depends on it), including the awkward ones.
+func TestObserveRecordRoundTrip(t *testing.T) {
+	obs := FleetObservation{
+		Model: "ST4000DM000",
+		Observation: Observation{
+			Serial: "Z302T4N9",
+			Day:    812,
+			Failed: true,
+			Values: []float64{
+				0, 1, 100, 253, 19512, -4, 0.5, 3.1415926535,
+				math.NaN(), math.Inf(1), math.Inf(-1),
+				math.MaxFloat64, math.SmallestNonzeroFloat64, -0.0,
+				1e300, -1e-300, 4294967296,
+			},
+		},
+	}
+	rec, err := decodeRecord(encodeObserveRecord(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.kind != recObserveV2 {
+		t.Fatalf("kind = %d, want %d", rec.kind, recObserveV2)
+	}
+	if rec.obs.Model != obs.Model || rec.obs.Serial != obs.Serial ||
+		rec.obs.Day != obs.Day || rec.obs.Failed != obs.Failed {
+		t.Fatalf("header round-trip: got %+v", rec.obs)
+	}
+	if len(rec.obs.Values) != len(obs.Values) {
+		t.Fatalf("got %d values, want %d", len(rec.obs.Values), len(obs.Values))
+	}
+	for i, v := range obs.Values {
+		if math.Float64bits(rec.obs.Values[i]) != math.Float64bits(v) {
+			t.Errorf("value %d: bits %x -> %x", i,
+				math.Float64bits(v), math.Float64bits(rec.obs.Values[i]))
+		}
+	}
+	// Negative days must survive the zig-zag encoding too.
+	neg := obs
+	neg.Day = -3
+	if rec, err = decodeRecord(encodeObserveRecord(neg)); err != nil || rec.obs.Day != -3 {
+		t.Fatalf("negative day: %+v, %v", rec.obs.Day, err)
+	}
+}
+
+// TestObserveRecordDecodesLegacyV1 keeps recovery working for WALs
+// written before the varint format: the fixed-width v1 layout must
+// still decode (the kind-1 writer is gone, so the frame is hand-built
+// the way encodeObserveRecord used to build it).
+func TestObserveRecordDecodesLegacyV1(t *testing.T) {
+	want := FleetObservation{
+		Model: "HGST HMS5C4040BLE640",
+		Observation: Observation{
+			Serial: "PL1331LAHG1S4H", Day: 214, Failed: false,
+			Values: []float64{100, 0.25, math.Inf(1), -7},
+		},
+	}
+	var buf []byte
+	buf = append(buf, recObserve)
+	for _, s := range []string{want.Model, want.Serial} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(want.Day)))
+	buf = append(buf, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(want.Values)))
+	for _, v := range want.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	rec, err := decodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.kind != recObserve || !reflect.DeepEqual(rec.obs, want) {
+		t.Fatalf("v1 decode: got kind %d obs %+v, want %+v", rec.kind, rec.obs, want)
+	}
+}
+
+// TestObserveRecordRejectsCorruptV2 exercises the truncation guards so
+// a torn or bit-flipped record fails decode instead of panicking.
+func TestObserveRecordRejectsCorruptV2(t *testing.T) {
+	good := encodeObserveRecord(FleetObservation{
+		Model: "m", Observation: Observation{
+			Serial: "s", Day: 5, Values: []float64{1, 2, 3}},
+	})
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := decodeRecord(good[:cut]); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", cut)
+		}
+	}
+	if _, err := decodeRecord(append(append([]byte(nil), good...), 0xAA)); err == nil {
+		t.Error("decode with trailing garbage succeeded")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -9,11 +10,14 @@ import (
 )
 
 // Forest is an online random forest (Algorithm 1). Construct with New,
-// feed labeled samples with Update, query with PredictProba/Predict.
+// feed labeled samples with Update/UpdateBatch, query with
+// PredictProba/Predict.
 //
-// Update and Predict each parallelize internally across trees, but the
-// two must not run concurrently with each other: Update mutates tree
-// structure.
+// Update and Predict each parallelize internally across trees (via a
+// persistent worker pool started lazily when Workers > 1), but the two
+// must not run concurrently with each other: Update mutates tree
+// structure. A forest that started workers releases them on Close; a
+// finalizer covers forests that are dropped without Close.
 type Forest struct {
 	cfg   Config
 	dim   int
@@ -24,6 +28,14 @@ type Forest struct {
 	posSeen      int64
 	negSeen      int64
 	sinceReplace int64 // updates since the last tree replacement
+
+	poolOnce sync.Once
+	pool     *forestPool
+
+	// Single-sample scratch so Update can reuse the batch path without
+	// allocating a one-element slice per call.
+	x1 [1][]float64
+	y1 [1]int
 }
 
 // New creates an empty forest for dim-dimensional inputs.
@@ -50,33 +62,73 @@ func (f *Forest) Dim() int { return f.dim }
 // Update absorbs one labeled sample into every tree, following
 // Algorithm 1: per tree, draw k ~ Poisson(lambda_y); replay the sample k
 // times if k > 0, otherwise use it to refresh the tree's OOBE and check
-// the replacement condition.
+// the replacement condition. Steady state allocates nothing.
 func (f *Forest) Update(x []float64, y int) {
 	if len(x) != f.dim {
 		panic(fmt.Sprintf("core: Update dimension %d, want %d", len(x), f.dim))
 	}
-	f.updates++
-	if y == 1 {
-		f.posSeen++
-	} else {
-		f.negSeen++
-	}
-	lambda := f.cfg.LambdaNeg
-	if y == 1 {
-		lambda = f.cfg.LambdaPos
-	}
+	f.x1[0], f.y1[0] = x, y
+	f.updateChunked(f.x1[:], f.y1[:])
+	f.x1[0] = nil
+}
 
-	f.forEachTree(func(t *onlineTree) {
-		k := t.r.Poisson(lambda)
-		if k > 0 {
-			for i := 0; i < k; i++ {
-				t.update(x, y)
-			}
-			t.age++
-			return
+// UpdateBatch absorbs a batch of labeled samples with one worker-pool
+// wake-up per replacement-free run, instead of one per sample. The
+// result is bit-identical to calling Update(X[i], Y[i]) in order: each
+// tree sees the samples in the same order on the same RNG stream, and
+// the tree-replacement check fires at exactly the same sample positions
+// (batches are internally chunked so no check ever falls mid-chunk).
+func (f *Forest) UpdateBatch(X [][]float64, Y []int) {
+	if len(X) != len(Y) {
+		panic(fmt.Sprintf("core: UpdateBatch with %d samples, %d labels", len(X), len(Y)))
+	}
+	for _, x := range X {
+		if len(x) != f.dim {
+			panic(fmt.Sprintf("core: UpdateBatch dimension %d, want %d", len(x), f.dim))
 		}
-		t.updateOOBE(x, y)
-	})
+	}
+	f.updateChunked(X, Y)
+}
+
+// updateChunked applies (X, Y) in replacement-safe chunks. A chunk ends
+// exactly where the sequential path would first run a replacement scan
+// (sinceReplace reaching ReplaceCooldown), so scans — and therefore
+// replacements — happen at identical sample positions to sequential
+// Update calls. Once sinceReplace sits at/above the cooldown (scans
+// firing every sample until one replaces), chunks degrade to single
+// samples, which is precisely the sequential behavior.
+func (f *Forest) updateChunked(X [][]float64, Y []int) {
+	for i := 0; i < len(X); {
+		c := len(X) - i
+		if !f.cfg.DisableReplacement {
+			if room := int64(f.cfg.ReplaceCooldown) - f.sinceReplace; room < int64(c) {
+				c = int(room)
+			}
+			if c < 1 {
+				c = 1
+			}
+		}
+		f.applyChunk(X[i:i+c], Y[i:i+c])
+		i += c
+	}
+}
+
+// applyChunk feeds one replacement-free run of samples to every tree and
+// then performs the sequential path's post-sample replacement check.
+func (f *Forest) applyChunk(X [][]float64, Y []int) {
+	f.updates += int64(len(X))
+	for _, y := range Y {
+		if y == 1 {
+			f.posSeen++
+		} else {
+			f.negSeen++
+		}
+	}
+	if p := f.workerPool(); p != nil {
+		p.updateBatch(X, Y)
+	} else {
+		updateTrees(f.trees, X, Y, f.cfg)
+	}
 
 	// Replacement pass: discard at most one decayed tree per cooldown
 	// window, choosing the worst offender. Replacing serially instead of
@@ -84,7 +136,7 @@ func (f *Forest) Update(x []float64, y int) {
 	if f.cfg.DisableReplacement {
 		return
 	}
-	f.sinceReplace++
+	f.sinceReplace += int64(len(X))
 	if f.sinceReplace < int64(f.cfg.ReplaceCooldown) {
 		return
 	}
@@ -102,39 +154,38 @@ func (f *Forest) Update(x []float64, y int) {
 	}
 }
 
-// forEachTree runs fn over all trees using the worker pool. Each tree is
-// touched by exactly one goroutine, so per-tree state needs no locking.
-func (f *Forest) forEachTree(fn func(*onlineTree)) {
+// workerPool returns the forest's persistent worker pool, starting it on
+// first use, or nil when the configuration is effectively sequential.
+// The pool goroutines reference only the pool (never the Forest), so the
+// finalizer can fire once the Forest itself becomes unreachable.
+func (f *Forest) workerPool() *forestPool {
 	workers := f.cfg.Workers
 	if workers > len(f.trees) {
 		workers = len(f.trees)
 	}
 	if workers <= 1 {
-		for _, t := range f.trees {
-			fn(t)
-		}
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
-	chunk := (len(f.trees) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(f.trees) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(f.trees) {
-			hi = len(f.trees)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for _, t := range f.trees[lo:hi] {
-				fn(t)
-			}
-		}(lo, hi)
+	f.poolOnce.Do(func() {
+		f.pool = newForestPool(f.trees, f.cfg, workers)
+		runtime.SetFinalizer(f, func(f *Forest) { f.pool.close() })
+	})
+	return f.pool
+}
+
+// Close releases the forest's worker goroutines (a no-op if none were
+// ever started). The forest must not be updated or queried afterwards.
+// Forests dropped without Close are cleaned up by a finalizer; calling
+// Close is still preferable in anything with a deterministic lifecycle.
+func (f *Forest) Close() {
+	// Run the Once so a Close racing nothing but an unstarted pool
+	// doesn't leave a later workerPool call able to start goroutines on
+	// a closed forest.
+	f.poolOnce.Do(func() {})
+	if f.pool != nil {
+		runtime.SetFinalizer(f, nil)
+		f.pool.close()
 	}
-	wg.Wait()
 }
 
 // PredictProba returns the mean positive probability across trees.
@@ -155,32 +206,32 @@ func (f *Forest) Predict(x []float64, threshold float64) bool {
 	return f.PredictProba(x) >= threshold
 }
 
-// PredictProbaBatch scores many vectors in parallel, preserving order.
-// It must not run concurrently with Update.
+// PredictProbaBatch scores many vectors in parallel on the persistent
+// worker pool (partitioned by sample — trees are read-only during
+// prediction), preserving order. It must not run concurrently with
+// Update; concurrent PredictProbaBatch calls are safe.
 func (f *Forest) PredictProbaBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	workers := f.cfg.Workers
-	var wg sync.WaitGroup
-	chunk := (len(X) + workers - 1) / workers
-	if chunk < 1 {
-		chunk = 1
-	}
-	for lo := 0; lo < len(X); lo += chunk {
-		hi := lo + chunk
-		if hi > len(X) {
-			hi = len(X)
+	p := f.workerPool()
+	if p == nil || len(X) == 1 {
+		for i, x := range X {
+			out[i] = f.PredictProba(x)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = f.PredictProba(X[i])
-			}
-		}(lo, hi)
+		return out
 	}
-	wg.Wait()
+	p.run(func(w int) {
+		lo, hi := chunkRange(w, p.workers, len(X))
+		for i := lo; i < hi; i++ {
+			out[i] = f.PredictProba(X[i])
+		}
+	})
 	return out
 }
+
+// PosSeen returns the number of positive samples absorbed so far. It is
+// O(1) — use it on hot paths instead of Stats, which walks every node of
+// every tree.
+func (f *Forest) PosSeen() int64 { return f.posSeen }
 
 // Stats is a point-in-time summary of forest state.
 type Stats struct {

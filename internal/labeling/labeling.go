@@ -21,11 +21,17 @@ import (
 	"orfdisk/internal/smart"
 )
 
-// Queue is the fixed-length per-disk sample buffer Q_i of Algorithm 2.
+// Queue is the fixed-length per-disk sample buffer Q_i of Algorithm 2,
+// implemented as a ring over arrays sized once at construction. The
+// previous slice-based version resliced its backing array forward on
+// every Dequeue, so the next Enqueue's append had to reallocate — one
+// steady-state allocation per sample of every tracked disk. The ring
+// allocates only in NewQueue.
 type Queue struct {
-	buf  [][]float64
+	x    [][]float64
 	days []int
-	cap  int
+	head int // index of the oldest sample
+	n    int // buffered samples
 }
 
 // NewQueue returns a queue holding up to capacity samples.
@@ -33,33 +39,55 @@ func NewQueue(capacity int) *Queue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("labeling: non-positive queue capacity %d", capacity))
 	}
-	return &Queue{cap: capacity}
+	return &Queue{x: make([][]float64, capacity), days: make([]int, capacity)}
 }
 
 // Len returns the number of buffered samples.
-func (q *Queue) Len() int { return len(q.buf) }
+func (q *Queue) Len() int { return q.n }
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue) Cap() int { return len(q.x) }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue) Full() bool { return len(q.buf) == q.cap }
+func (q *Queue) Full() bool { return q.n == len(q.x) }
 
 // Enqueue appends a sample (feature vector + acquisition day).
 func (q *Queue) Enqueue(x []float64, day int) {
 	if q.Full() {
 		panic("labeling: enqueue on full queue")
 	}
-	q.buf = append(q.buf, x)
-	q.days = append(q.days, day)
+	i := q.slot(q.n)
+	q.x[i], q.days[i] = x, day
+	q.n++
 }
 
 // Dequeue removes and returns the oldest sample.
 func (q *Queue) Dequeue() (x []float64, day int) {
-	if len(q.buf) == 0 {
+	if q.n == 0 {
 		panic("labeling: dequeue on empty queue")
 	}
-	x, day = q.buf[0], q.days[0]
-	q.buf = q.buf[1:]
-	q.days = q.days[1:]
+	x, day = q.x[q.head], q.days[q.head]
+	q.x[q.head] = nil // do not retain the released sample
+	q.head = q.slot(1)
+	q.n--
 	return x, day
+}
+
+// slot maps a logical offset from the oldest sample to an array index.
+func (q *Queue) slot(off int) int { return (q.head + off) % len(q.x) }
+
+// at returns the sample at logical position i (0 = oldest).
+func (q *Queue) at(i int) (x []float64, day int) {
+	j := q.slot(i)
+	return q.x[j], q.days[j]
+}
+
+// reset empties the queue for reuse, dropping sample references.
+func (q *Queue) reset() {
+	for i := 0; i < q.n; i++ {
+		q.x[q.slot(i)] = nil
+	}
+	q.head, q.n = 0, 0
 }
 
 // Labeled is a released training sample.
@@ -75,8 +103,21 @@ type Labeled struct {
 type Labeler struct {
 	horizon int
 	queues  map[string]*Queue
+	// free recycles the ring buffers of failed/retired disks so a churn
+	// of disks through the fleet does not allocate a fresh queue per
+	// (re)appearance — the last steady-state allocation on the Observe
+	// path.
+	free []*Queue
+	// relBuf is reused scratch for multi-sample releases (Fail).
+	relBuf []Labeled
 	// Update receives each released labeled sample (model update phase).
 	Update func(Labeled)
+	// UpdateBatch, if non-nil, receives multi-sample releases (a failed
+	// disk's whole queue) as one ordered slice instead of per-sample
+	// Update calls, letting the model apply them with one batch update.
+	// The slice is scratch owned by the labeler: use it only within the
+	// call. Single-sample releases always go through Update.
+	UpdateBatch func([]Labeled)
 }
 
 // NewLabeler creates a labeler with the given horizon (queue capacity, in
@@ -113,7 +154,7 @@ func (l *Labeler) Pending() int {
 func (l *Labeler) Observe(disk string, x []float64, day int) {
 	q := l.queues[disk]
 	if q == nil {
-		q = NewQueue(l.horizon)
+		q = l.newOrRecycledQueue()
 		l.queues[disk] = q
 	}
 	if q.Full() {
@@ -125,17 +166,31 @@ func (l *Labeler) Observe(disk string, x []float64, day int) {
 
 // Fail processes a disk failure (Algorithm 2, y == 1 branch): all queued
 // samples are released as positive, oldest first, and the disk is
-// forgotten.
+// forgotten. When UpdateBatch is set, the whole queue is handed over in
+// one call; otherwise each sample is released through Update.
 func (l *Labeler) Fail(disk string) {
 	q := l.queues[disk]
 	if q == nil {
 		return
 	}
-	for q.Len() > 0 {
-		x, day := q.Dequeue()
-		l.release(Labeled{X: x, Y: smart.Positive, Day: day, Disk: disk})
+	if l.UpdateBatch != nil && q.Len() > 1 {
+		l.relBuf = l.relBuf[:0]
+		for q.Len() > 0 {
+			x, day := q.Dequeue()
+			l.relBuf = append(l.relBuf, Labeled{X: x, Y: smart.Positive, Day: day, Disk: disk})
+		}
+		l.UpdateBatch(l.relBuf)
+		for i := range l.relBuf {
+			l.relBuf[i] = Labeled{} // drop sample references
+		}
+	} else {
+		for q.Len() > 0 {
+			x, day := q.Dequeue()
+			l.release(Labeled{X: x, Y: smart.Positive, Day: day, Disk: disk})
+		}
 	}
 	delete(l.queues, disk)
+	l.recycle(q)
 }
 
 // Disks returns the serials of all tracked disks, sorted.
@@ -159,18 +214,32 @@ type QueueState struct {
 	X    [][]float64
 }
 
-// Export returns every tracked disk's queued samples, sorted by disk.
-// The returned slices alias the live queues; treat them as read-only.
+// Export returns every tracked disk's queued samples, sorted by disk,
+// oldest sample first. The snapshot is a deep copy: mutating the live
+// labeler afterwards (new observations, failures) cannot corrupt it, and
+// mutating the snapshot cannot corrupt the labeler.
 func (l *Labeler) Export() []QueueState {
 	out := make([]QueueState, 0, len(l.queues))
 	for _, d := range l.Disks() {
 		q := l.queues[d]
-		out = append(out, QueueState{Disk: d, Days: q.days, X: q.buf})
+		st := QueueState{
+			Disk: d,
+			Days: make([]int, q.Len()),
+			X:    make([][]float64, q.Len()),
+		}
+		for i := 0; i < q.Len(); i++ {
+			x, day := q.at(i)
+			st.Days[i] = day
+			st.X[i] = append([]float64(nil), x...)
+		}
+		out = append(out, st)
 	}
 	return out
 }
 
 // Import replaces the labeler's queues with previously Exported state.
+// The imported vectors are deep-copied, so the caller keeps ownership of
+// the state it passed in.
 func (l *Labeler) Import(states []QueueState) error {
 	fresh := make(map[string]*Queue, len(states))
 	for _, st := range states {
@@ -187,11 +256,12 @@ func (l *Labeler) Import(states []QueueState) error {
 		}
 		q := NewQueue(l.horizon)
 		for i := range st.X {
-			q.Enqueue(st.X[i], st.Days[i])
+			q.Enqueue(append([]float64(nil), st.X[i]...), st.Days[i])
 		}
 		fresh[st.Disk] = q
 	}
 	l.queues = fresh
+	l.free = l.free[:0]
 	return nil
 }
 
@@ -199,18 +269,44 @@ func (l *Labeler) Import(states []QueueState) error {
 // the fleet healthy; its last week is indeterminate, matching how the
 // paper leaves a good disk's latest week unlabeled).
 func (l *Labeler) Retire(disk string) {
+	q := l.queues[disk]
+	if q == nil {
+		return
+	}
 	delete(l.queues, disk)
+	l.recycle(q)
 }
 
 // RetireAll drops every tracked disk without labeling queued samples.
 // Use at end-of-stream: the final week of surviving disks cannot be
 // labeled.
 func (l *Labeler) RetireAll() {
-	l.queues = make(map[string]*Queue)
+	for d, q := range l.queues {
+		delete(l.queues, d)
+		l.recycle(q)
+	}
 }
 
 func (l *Labeler) release(s Labeled) {
 	if l.Update != nil {
 		l.Update(s)
 	}
+}
+
+// newOrRecycledQueue pops a reset queue from the freelist, or allocates
+// one if the freelist is empty.
+func (l *Labeler) newOrRecycledQueue() *Queue {
+	if n := len(l.free); n > 0 {
+		q := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return q
+	}
+	return NewQueue(l.horizon)
+}
+
+// recycle resets a dropped disk's queue and returns it to the freelist.
+func (l *Labeler) recycle(q *Queue) {
+	q.reset()
+	l.free = append(l.free, q)
 }

@@ -262,3 +262,128 @@ func TestImportRejectsBadState(t *testing.T) {
 		t.Fatal("duplicate disk accepted")
 	}
 }
+
+// TestObserveSteadyStateZeroAllocs guards the ring-buffer conversion: a
+// long Observe stream over a stable fleet must not allocate once every
+// disk's queue exists. The old slice-backed Queue resliced its backing
+// array forward on each Dequeue, forcing the next Enqueue to reallocate.
+func TestObserveSteadyStateZeroAllocs(t *testing.T) {
+	l := NewLabeler(7, func(Labeled) {})
+	disks := []string{"d0", "d1", "d2", "d3"}
+	x := vec(1)
+	day := 0
+	warm := func() {
+		for _, d := range disks {
+			l.Observe(d, x, day)
+		}
+		day++
+	}
+	for i := 0; i < 20; i++ { // fill queues and settle map internals
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("steady-state Observe allocates %v times per round", allocs)
+	}
+}
+
+// TestFailedDiskQueueRecycledZeroAllocs extends the steady-state
+// guarantee across disk churn: a disk failing and a new one appearing
+// reuses the failed disk's ring buffer from the freelist.
+func TestFailedDiskQueueRecycledZeroAllocs(t *testing.T) {
+	l := NewLabeler(3, func(Labeled) {})
+	x := vec(1)
+	serials := []string{"a", "b"}
+	for _, d := range serials { // pre-create map entries and one spare queue
+		for i := 0; i < 4; i++ {
+			l.Observe(d, x, i)
+		}
+	}
+	l.Fail("spare")
+	round := func() {
+		for _, d := range serials {
+			l.Observe(d, x, 0)
+			l.Fail(d)
+			l.Observe(d, x, 0)
+		}
+	}
+	round()
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Fatalf("disk churn allocates %v times per round", allocs)
+	}
+}
+
+// TestExportIsDeepCopy verifies snapshots and live queues are isolated
+// in both directions after the ring-buffer conversion.
+func TestExportIsDeepCopy(t *testing.T) {
+	out, update := collect()
+	l := NewLabeler(3, update)
+	l.Observe("a", []float64{1, 2}, 0)
+	l.Observe("a", []float64{3, 4}, 1)
+	snap := l.Export()
+
+	// Mutating the live labeler must not change the snapshot.
+	l.Observe("a", []float64{5, 6}, 2)
+	l.Observe("a", []float64{7, 8}, 3) // overflows: releases day-0 sample
+	if len(snap) != 1 || len(snap[0].X) != 2 {
+		t.Fatalf("snapshot shape changed: %+v", snap)
+	}
+	if snap[0].Days[0] != 0 || snap[0].X[0][0] != 1 || snap[0].X[1][0] != 3 {
+		t.Fatalf("snapshot content changed: %+v", snap[0])
+	}
+
+	// Mutating the snapshot must not change the live queues.
+	snap[0].X[0][0] = 99
+	snap[0].Days[0] = 99
+	*out = (*out)[:0]
+	l.Fail("a") // releases days 1,2,3 as positives
+	if len(*out) != 3 || (*out)[0].X[0] != 3 || (*out)[0].Day != 1 {
+		t.Fatalf("live queue corrupted by snapshot mutation: %+v", *out)
+	}
+
+	// Import must deep-copy too: mutating the source state afterwards
+	// must not affect the imported queues.
+	st := []QueueState{{Disk: "b", Days: []int{5}, X: [][]float64{{42}}}}
+	if err := l.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	st[0].X[0][0] = -1
+	*out = (*out)[:0]
+	l.Fail("b")
+	if len(*out) != 1 || (*out)[0].X[0] != 42 {
+		t.Fatalf("imported queue aliases caller state: %+v", *out)
+	}
+}
+
+// TestFailUsesUpdateBatch verifies multi-sample releases go through the
+// batch callback in order while single-sample releases use Update.
+func TestFailUsesUpdateBatch(t *testing.T) {
+	var batched [][]Labeled
+	var singles []Labeled
+	l := NewLabeler(3, func(s Labeled) { singles = append(singles, s) })
+	l.UpdateBatch = func(batch []Labeled) {
+		cp := append([]Labeled(nil), batch...)
+		batched = append(batched, cp)
+	}
+	for i := 0; i < 3; i++ {
+		l.Observe("a", vec(float64(i)), i)
+	}
+	l.Fail("a")
+	if len(singles) != 0 {
+		t.Fatalf("multi-sample Fail used Update: %+v", singles)
+	}
+	if len(batched) != 1 || len(batched[0]) != 3 {
+		t.Fatalf("batch release shape: %+v", batched)
+	}
+	for i, s := range batched[0] {
+		if s.Day != i || s.X[0] != float64(i) || s.Y != smart.Positive || s.Disk != "a" {
+			t.Fatalf("batch sample %d out of order: %+v", i, s)
+		}
+	}
+
+	// A single queued sample still goes through Update.
+	l.Observe("b", vec(9), 0)
+	l.Fail("b")
+	if len(batched) != 1 || len(singles) != 1 || singles[0].X[0] != 9 {
+		t.Fatalf("single-sample Fail: batched=%d singles=%+v", len(batched), singles)
+	}
+}

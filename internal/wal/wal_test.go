@@ -400,3 +400,142 @@ func TestSegmentMetrics(t *testing.T) {
 		t.Fatalf("segment gauge %d after truncation, want %d", got, len(segs))
 	}
 }
+
+// TestAppendBatchReplayEqualsSingles writes the same record stream twice
+// — once via single Appends, once via AppendBatch — into two logs and
+// verifies the replayed (seq, payload) streams and on-disk segment
+// layout are byte-identical.
+func TestAppendBatchReplayEqualsSingles(t *testing.T) {
+	recs := make([][]byte, 0, 50)
+	for i := 0; i < 50; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("record-%03d-%s", i, string(make([]byte, i%7)))))
+	}
+	opts := Options{SegmentBytes: 512} // force rotations in both logs
+
+	dirA := t.TempDir()
+	a := openTest(t, dirA, opts)
+	for _, p := range recs {
+		if _, err := a.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := t.TempDir()
+	b := openTest(t, dirB, opts)
+	for i := 0; i < len(recs); {
+		n := 1 + i%9 // varying batch sizes, including 1
+		if i+n > len(recs) {
+			n = len(recs) - i
+		}
+		first, err := b.AppendBatch(recs[i : i+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != uint64(i+1) {
+			t.Fatalf("batch at %d: first seq %d, want %d", i, first, i+1)
+		}
+		i += n
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ra := openTest(t, dirA, opts)
+	defer ra.Close()
+	rb := openTest(t, dirB, opts)
+	defer rb.Close()
+	seqsA, payloadsA := collect(t, ra)
+	seqsB, payloadsB := collect(t, rb)
+	if len(seqsA) != len(recs) || len(seqsB) != len(recs) {
+		t.Fatalf("replay counts: singles %d, batch %d, want %d", len(seqsA), len(seqsB), len(recs))
+	}
+	for i := range recs {
+		if seqsA[i] != seqsB[i] || payloadsA[i] != payloadsB[i] {
+			t.Fatalf("record %d differs: (%d,%q) vs (%d,%q)",
+				i, seqsA[i], payloadsA[i], seqsB[i], payloadsB[i])
+		}
+	}
+	if ra.NextSeq() != rb.NextSeq() {
+		t.Fatalf("NextSeq differs: %d vs %d", ra.NextSeq(), rb.NextSeq())
+	}
+}
+
+// TestAppendBatchNeverSplitsSegments checks a batch whose size would
+// overflow the current segment rotates first and lands whole.
+func TestAppendBatchNeverSplitsSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SegmentBytes: 256})
+	if _, err := w.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// 3 × (16 + 60) = 228 bytes: fits a fresh 256-byte segment but not
+	// alongside the 116 bytes already in the first one.
+	batch := [][]byte{make([]byte, 60), make([]byte, 60), make([]byte, 60)}
+	first, err := w.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("first seq %d, want 2", first)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want 2 (rotation before batch)", len(segs))
+	}
+	res, err := scanSegment(segs[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.count != 3 || res.validEnd != res.fileSize {
+		t.Fatalf("second segment holds %d records (valid %d / %d bytes), want whole batch",
+			res.count, res.validEnd, res.fileSize)
+	}
+}
+
+// TestAppendBatchGroupCommit checks the fsync policy treats a batch as
+// its record count, not as one append.
+func TestAppendBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 4, SyncInterval: time.Hour})
+	defer w.Close()
+	fsyncs := func() uint64 { return w.met.fsyncs.Value() }
+	if _, err := w.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsyncs(); got != 0 {
+		t.Fatalf("fsyncs after 3 dirty records: %d, want 0", got)
+	}
+	if _, err := w.AppendBatch([][]byte{[]byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsyncs(); got != 1 {
+		t.Fatalf("fsyncs after reaching SyncEvery: %d, want 1", got)
+	}
+}
+
+// TestAppendBatchRejectsBadInput covers the error paths.
+func TestAppendBatchRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{})
+	if _, err := w.AppendBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := w.AppendBatch([][]byte{make([]byte, maxRecord+1)}); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch([][]byte{[]byte("x")}); err != ErrClosed {
+		t.Fatalf("append on closed log: %v, want ErrClosed", err)
+	}
+}

@@ -91,6 +91,19 @@ type Predictor struct {
 	threshold float64
 	horizon   int
 	scaled    []float64 // scratch buffer
+
+	// free recycles projected feature vectors: each Ingest clones the
+	// selected features out of the raw catalog vector for the labeling
+	// queue, and the clone comes back here when its sample is released,
+	// so the steady-state path allocates no projection buffers.
+	free [][]float64
+	// Batch-release scratch (disk failures release up to horizon queued
+	// samples at once; scaling state is constant across one release, so
+	// they can be transformed upfront and applied with one
+	// Forest.UpdateBatch wake-up).
+	relScaled [][]float64
+	relX      [][]float64
+	relY      []int
 }
 
 // NewPredictor creates a Predictor.
@@ -115,16 +128,60 @@ func NewPredictor(cfg Config) *Predictor {
 		horizon:   horizon,
 		scaled:    make([]float64, len(features)),
 	}
-	// Queued samples are stored raw and scaled at release time, so label
-	// releases always use the freshest feature ranges.
-	p.labeler = labeling.NewLabeler(horizon, func(s labeling.Labeled) {
+	p.bindLabeler()
+	return p
+}
+
+// bindLabeler wires the predictor's labeling queues to the forest.
+// Queued samples are stored raw and scaled at release time, so label
+// releases always use the freshest feature ranges. Released sample
+// buffers are recycled into the projection free-list.
+func (p *Predictor) bindLabeler() {
+	p.labeler = labeling.NewLabeler(p.horizon, func(s labeling.Labeled) {
 		y := 0
 		if s.Y == smart.Positive {
 			y = 1
 		}
 		p.forest.Update(p.scaler.Transform(s.X, p.scaled), y)
+		p.free = append(p.free, s.X)
 	})
-	return p
+	// Disk failures release a whole queue at once. The scaler only moves
+	// on Ingest (never during releases), so the batch can be transformed
+	// upfront and fed to the forest with one UpdateBatch — bit-identical
+	// to releasing the samples one by one.
+	p.labeler.UpdateBatch = func(batch []labeling.Labeled) {
+		for len(p.relScaled) < len(batch) {
+			p.relScaled = append(p.relScaled, make([]float64, len(p.features)))
+		}
+		p.relX, p.relY = p.relX[:0], p.relY[:0]
+		for i, s := range batch {
+			p.scaler.Transform(s.X, p.relScaled[i])
+			y := 0
+			if s.Y == smart.Positive {
+				y = 1
+			}
+			p.relX = append(p.relX, p.relScaled[i])
+			p.relY = append(p.relY, y)
+			p.free = append(p.free, s.X)
+		}
+		p.forest.UpdateBatch(p.relX, p.relY)
+	}
+}
+
+// project clones the selected features out of a raw catalog vector,
+// reusing a recycled buffer when one is available. The clone is owned by
+// the labeling queue until its sample is released.
+func (p *Predictor) project(values []float64) []float64 {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		for i, j := range p.features {
+			x[i] = values[j]
+		}
+		return x
+	}
+	return smart.Project(values, p.features)
 }
 
 // Ingest processes one observation per Algorithm 2: it updates the model
@@ -136,7 +193,7 @@ func (p *Predictor) Ingest(obs Observation) (Prediction, error) {
 			"orfdisk: observation carries %d values, want the %d-feature catalog",
 			len(obs.Values), smart.NumFeatures())
 	}
-	x := smart.Project(obs.Values, p.features)
+	x := p.project(obs.Values)
 	p.scaler.Observe(x)
 
 	if obs.Failed {
@@ -158,8 +215,34 @@ func (p *Predictor) Ingest(obs Observation) (Prediction, error) {
 		Serial: obs.Serial,
 		Day:    obs.Day,
 		Score:  score,
-		Risky:  score >= p.threshold && p.forest.Stats().PosSeen > 0,
+		// PosSeen (O(1)) instead of Stats().PosSeen: Stats walks every
+		// node of every tree, which dominated the per-observation cost.
+		Risky: score >= p.threshold && p.forest.PosSeen() > 0,
 	}, nil
+}
+
+// IngestBatch processes a slice of observations in order, exactly as the
+// equivalent sequence of Ingest calls would (predictions interleave with
+// model updates, so observation i+1 is scored by a model that has seen
+// observation i). The whole batch is validated upfront — on error,
+// nothing is applied. Predictions are appended to out (pass a reused
+// slice to avoid allocation) and the extended slice is returned.
+func (p *Predictor) IngestBatch(obs []Observation, out []Prediction) ([]Prediction, error) {
+	for i := range obs {
+		if len(obs[i].Values) != smart.NumFeatures() {
+			return out, fmt.Errorf(
+				"orfdisk: observation %d carries %d values, want the %d-feature catalog",
+				i, len(obs[i].Values), smart.NumFeatures())
+		}
+	}
+	for i := range obs {
+		pred, err := p.Ingest(obs[i])
+		if err != nil {
+			return out, fmt.Errorf("orfdisk: batch observation %d: %w", i, err)
+		}
+		out = append(out, pred)
+	}
+	return out, nil
 }
 
 // Retire drops a disk that left the fleet without failing (e.g. planned

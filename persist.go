@@ -146,13 +146,7 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if err := p.scaler.Restore(min, max); err != nil {
 		return nil, err
 	}
-	p.labeler = labeling.NewLabeler(p.horizon, func(s labeling.Labeled) {
-		y := 0
-		if s.Y == smart.Positive {
-			y = 1
-		}
-		p.forest.Update(p.scaler.Transform(s.X, p.scaled), y)
-	})
+	p.bindLabeler()
 	return p, nil
 }
 

@@ -32,8 +32,10 @@ import (
 //	GET  /healthz           -> 200 ok
 //	GET  /metrics           -> Prometheus text exposition
 //
-// Request bodies are limited to 1 MiB and decoded strictly (unknown
-// fields are rejected). All errors are JSON: {"error": "..."}.
+// Request bodies are limited to 1 MiB — except /v1/observe/batch, which
+// has its own configurable byte and item limits (SetBatchLimits; 413 on
+// oversize bodies, 400 on too many items) — and decoded strictly
+// (unknown fields are rejected). All errors are JSON: {"error": "..."}.
 //
 // Every endpoint is instrumented: http_requests_total{path,code} and
 // http_request_seconds{path} land in the engine's metrics registry
@@ -44,12 +46,26 @@ type Server struct {
 	eng *Engine
 	log *slog.Logger
 
+	batchMaxBytes int64
+	batchMaxItems int
+
 	requests *metrics.CounterVec
 	latency  *metrics.HistogramVec
 }
 
-// maxBodyBytes caps every request body read by the server.
+// maxBodyBytes caps every request body read by the server, except
+// POST /v1/observe/batch which carries many observations and gets its
+// own (larger, configurable) cap.
 const maxBodyBytes = 1 << 20
+
+// Batch endpoint defaults; override with SetBatchLimits.
+const (
+	// DefaultBatchMaxBytes is the default POST /v1/observe/batch body
+	// cap (8 MiB — roughly 10k observations with full catalog vectors).
+	DefaultBatchMaxBytes = 8 << 20
+	// DefaultBatchMaxItems is the default per-request observation limit.
+	DefaultBatchMaxItems = 4096
+)
 
 // NewServer creates a Server around a fresh non-durable Engine with the
 // given predictor configuration. Use NewServerWithEngine for a durable
@@ -69,12 +85,28 @@ func NewServer(cfg Config) *Server {
 func NewServerWithEngine(e *Engine) *Server {
 	reg := e.MetricsRegistry()
 	return &Server{
-		eng: e,
-		log: e.log,
+		eng:           e,
+		log:           e.log,
+		batchMaxBytes: DefaultBatchMaxBytes,
+		batchMaxItems: DefaultBatchMaxItems,
 		requests: reg.CounterVec("http_requests_total",
 			"HTTP requests served, by endpoint and status code.", "path", "code"),
 		latency: reg.HistogramVec("http_request_seconds",
 			"HTTP request latency in seconds, by endpoint.", nil, "path"),
+	}
+}
+
+// SetBatchLimits tunes POST /v1/observe/batch: maxBytes caps the request
+// body (oversize requests get 413), maxItems caps observations per
+// request (larger batches get 400). Non-positive values keep the current
+// setting. Call before Handler; the limits are read per-request without
+// locking.
+func (s *Server) SetBatchLimits(maxBytes int64, maxItems int) {
+	if maxBytes > 0 {
+		s.batchMaxBytes = maxBytes
+	}
+	if maxItems > 0 {
+		s.batchMaxItems = maxItems
 	}
 }
 
@@ -216,9 +248,16 @@ func (s *Server) handle(mux *http.ServeMux, method, pattern string, h http.Handl
 	})
 }
 
-// decodeBody strictly decodes a size-capped JSON request body.
+// decodeBody strictly decodes a JSON request body capped at the default
+// single-request size.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return decodeBodyCapped(w, r, v, maxBodyBytes)
+}
+
+// decodeBodyCapped strictly decodes a JSON request body capped at limit
+// bytes.
+func decodeBodyCapped(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
@@ -262,8 +301,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeBodyCapped(w, r, &req, s.batchMaxBytes); err != nil {
 		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Observations) > s.batchMaxItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch carries %d observations, limit %d",
+				len(req.Observations), s.batchMaxItems))
 		return
 	}
 	batch := make([]FleetObservation, len(req.Observations))

@@ -419,3 +419,71 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestServerBatchLimits covers the batch endpoint's dedicated caps: a
+// body larger than the default 1 MiB but under the batch cap succeeds, a
+// body over the batch cap gets 413, and a batch with too many items gets
+// 400 — without touching the engine.
+func TestServerBatchLimits(t *testing.T) {
+	srv := NewServer(Config{Horizon: 2, ORF: ORFConfig{Trees: 3, Seed: 1}})
+	srv.SetBatchLimits(2<<20, 8)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	// The padding is intra-object whitespace so the decoder must read
+	// through it; what matters here is that a body over the 1 MiB global
+	// cap but under the batch cap succeeds.
+	prefix := `{"observations":[{"serial":"d1","model":"M","day":0,` +
+		`"norm":{"187":100},"raw":{"187":0}}]`
+	body := prefix + strings.Repeat(" ", maxBodyBytes) + "}"
+	resp, err := http.Post(ts.URL+"/v1/observe/batch", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch body over 1 MiB but under batch cap -> %d, want 200", resp.StatusCode)
+	}
+
+	// Over the batch cap: 413.
+	big := prefix + strings.Repeat(" ", 3<<20) + "}"
+	resp, err = http.Post(ts.URL+"/v1/observe/batch", "application/json",
+		strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("batch body over batch cap -> %d, want 413", resp.StatusCode)
+	}
+
+	// Too many items: 400, and no observation is applied.
+	obs := make([]ObservationRequest, 9)
+	for i := range obs {
+		obs[i] = ObservationRequest{
+			Serial: fmt.Sprintf("over-%d", i), Model: "M", Day: 0,
+			Norm: map[int]float64{187: 100},
+		}
+	}
+	resp = postJSON(t, ts.URL+"/v1/observe/batch", BatchRequest{Observations: obs})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize item count -> %d, want 400", resp.StatusCode)
+	}
+	var errResp map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&errResp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errResp["error"], "limit 8") {
+		t.Fatalf("error message %q does not name the limit", errResp["error"])
+	}
+
+	// At the cap: accepted.
+	resp = postJSON(t, ts.URL+"/v1/observe/batch", BatchRequest{Observations: obs[:8]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch at item cap -> %d, want 200", resp.StatusCode)
+	}
+}
