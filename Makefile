@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench bench-smoke fmt
+.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-smoke fmt
 
-check: vet build test race bench-engine
+check: vet build test race bench-engine bench-predict-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,9 +30,28 @@ bench-engine:
 # a PR moves these numbers so the perf trajectory stays reviewable.
 INGEST_BENCH = BenchmarkPredictorIngest$$|BenchmarkPredictorIngestBatch|BenchmarkLabelerSteadyState|BenchmarkUpdateBatch|BenchmarkEngineIngestBatch
 
-bench:
+bench: bench-ingest bench-predict
+
+bench-ingest:
 	$(GO) test . -run '^$$' -bench '$(INGEST_BENCH)' -benchmem -count=5 -benchtime=2s \
 		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+
+# Read-path perf baseline: frozen-snapshot scoring vs the live forest.
+# internal/core's BenchmarkScoreFrozen isolates the tree walk at fleet
+# scale; the root package's BenchmarkPredictScore/BenchmarkEngineScore
+# measure the end-to-end model and engine paths (idle and under
+# concurrent ingest). Separate output file so refreshing one baseline
+# never clobbers the other.
+PREDICT_BENCH = BenchmarkScoreFrozen|BenchmarkPredictScore|BenchmarkEngineScore
+
+bench-predict:
+	$(GO) test ./internal/core . -run '^$$' -bench '$(PREDICT_BENCH)' -benchmem -count=5 -benchtime=1s -timeout 30m \
+		| $(GO) run ./cmd/benchjson -o BENCH_predict.json
+
+# One-iteration smoke of the read-path benchmarks (-short shrinks the
+# grown forests): proves they compile and run, measures nothing.
+bench-predict-smoke:
+	$(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BENCH)' -benchtime=1x
 
 # Smoke-run every benchmark in the repo (one iteration each): catches
 # benchmarks that no longer compile or crash, measures nothing.

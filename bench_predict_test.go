@@ -1,0 +1,235 @@
+// Read-path benchmarks: frozen-snapshot scoring against the live
+// forest, standalone and under concurrent ingest. `make bench-predict`
+// records the baseline in BENCH_predict.json via cmd/benchjson.
+package orfdisk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+// predictBench caches one substantially grown predictor for the scoring
+// benchmarks: the fleet stream and the ingest that grows the forest run
+// once, not once per b.N calibration pass.
+var predictBench struct {
+	once    sync.Once
+	err     error
+	obs     []FleetObservation // full chronological stream, single model
+	churn   []FleetObservation // survivor-only slice for background ingest
+	lastDay int                // final day of the stream (churn starts here)
+	probes  [][]float64        // real catalog vectors to score
+	p       *Predictor
+	fm      *FrozenModel
+}
+
+// predictBenchConfig grows trees aggressively (full-weight negatives,
+// small leaves) so the live forest's working set far exceeds cache and
+// the layout difference is measured, not hidden by a tiny tree.
+func predictBenchConfig() Config {
+	return Config{Horizon: 7, ORF: ORFConfig{
+		Trees: 30, MinParentSize: 5, MinGain: 0.001,
+		LambdaPos: 1, LambdaNeg: 1, Seed: 42,
+	}}
+}
+
+func predictBenchSetup(b *testing.B) {
+	b.Helper()
+	predictBench.once.Do(func() {
+		// Full size grows the live forest well past per-core cache — the
+		// regime the frozen layout exists for; -short keeps smoke runs
+		// (CI, make bench-smoke) to a few seconds of setup.
+		p := dataset.STA(1)
+		p.GoodDisks, p.FailedDisks, p.Months = 1500, 200, 12
+		if testing.Short() {
+			p.GoodDisks, p.FailedDisks, p.Months = 100, 30, 4
+		}
+		g, err := dataset.New(p, 42)
+		if err != nil {
+			predictBench.err = err
+			return
+		}
+		err = g.Stream(func(s smart.Sample) error {
+			predictBench.obs = append(predictBench.obs, FleetObservation{
+				Model: "BENCH",
+				Observation: Observation{
+					Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+				},
+			})
+			// A wide probe pool mirrors production (a daily sweep scores
+			// every disk in the fleet once): successive calls take fresh
+			// paths instead of rewalking a handful of cache-warm ones.
+			if !s.Failure && len(predictBench.probes) < 32768 {
+				predictBench.probes = append(predictBench.probes, s.Values)
+			}
+			return nil
+		})
+		if err != nil {
+			predictBench.err = err
+			return
+		}
+		pred := NewPredictor(predictBenchConfig())
+		lastDay := 0
+		for _, o := range predictBench.obs {
+			pred.Ingest(o.Observation) //nolint:errcheck
+			if o.Day > lastDay {
+				lastDay = o.Day
+			}
+		}
+		// Background-ingest fodder: later-day observations of disks that
+		// never fail, so repeated passes (with bumped days) keep being
+		// accepted instead of bouncing off the labeler's retirement and
+		// day-monotonicity checks.
+		failed := map[string]bool{}
+		for _, o := range predictBench.obs {
+			if o.Failed {
+				failed[o.Serial] = true
+			}
+		}
+		for _, o := range predictBench.obs {
+			if !failed[o.Serial] && o.Day == lastDay {
+				predictBench.churn = append(predictBench.churn, o)
+			}
+		}
+		predictBench.lastDay = lastDay
+		predictBench.p = pred
+		predictBench.fm = pred.Freeze()
+	})
+	if predictBench.err != nil {
+		b.Fatal(predictBench.err)
+	}
+	b.Logf("forest: %d nodes, %d updates; %d probes; %d churn obs",
+		predictBench.fm.Nodes(), predictBench.fm.Updates(),
+		len(predictBench.probes), len(predictBench.churn))
+}
+
+// BenchmarkPredictScore is the end-to-end single-call comparison at the
+// model level: Predictor.Score (projection + scaling + live forest)
+// against FrozenModel.Score (projection + scaling + frozen forest).
+// The shared projection/scaling work dilutes the forest-layout gap
+// here; internal/core's BenchmarkScoreFrozen isolates the walk itself.
+// Both paths must report 0 allocs/op.
+func BenchmarkPredictScore(b *testing.B) {
+	predictBenchSetup(b)
+	probes := predictBench.probes
+	b.Run("live", func(b *testing.B) {
+		p := predictBench.p
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Score(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		fm := predictBench.fm
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fm.Score(probes[i%len(probes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frozen-parallel", func(b *testing.B) {
+		fm := predictBench.fm
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := fm.Score(probes[i%len(probes)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// engineBench caches one pre-grown engine per sub-benchmark: the
+// testing package re-invokes each b.Run closure for every calibration
+// pass and -count repetition, and re-ingesting the full stream each
+// time (dozens of multi-second builds) blows the test timeout. The
+// engines live for the whole process; churnDay persists across
+// under-ingest invocations so replayed churn batches keep passing the
+// labeler's day-monotonicity check.
+var engineBench struct {
+	idleOnce sync.Once
+	idle     *Engine
+	ingOnce  sync.Once
+	ing      *Engine
+	churnDay int
+}
+
+// benchEngine builds an engine pre-grown with the cached stream.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	eng, err := NewEngine(EngineConfig{Predictor: predictBenchConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < len(predictBench.obs); i += 1024 {
+		end := i + 1024
+		if end > len(predictBench.obs) {
+			end = len(predictBench.obs)
+		}
+		eng.IngestBatch(predictBench.obs[i:end])
+	}
+	return eng
+}
+
+// BenchmarkEngineScore measures read throughput through the engine's
+// published snapshot: all reader cores scoring in parallel, first on an
+// idle engine, then while a writer goroutine continuously batch-ingests
+// into the same model — the scenario the lock-free path exists for.
+func BenchmarkEngineScore(b *testing.B) {
+	predictBenchSetup(b)
+	probes := predictBench.probes
+
+	readers := func(b *testing.B, eng *Engine) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := eng.Score("BENCH", probes[i%len(probes)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		engineBench.idleOnce.Do(func() { engineBench.idle = benchEngine(b) })
+		readers(b, engineBench.idle)
+	})
+
+	b.Run("under-ingest", func(b *testing.B) {
+		engineBench.ingOnce.Do(func() {
+			engineBench.ing = benchEngine(b)
+			engineBench.churnDay = predictBench.lastDay
+		})
+		eng := engineBench.ing
+		var stop atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			batch := make([]FleetObservation, len(predictBench.churn))
+			copy(batch, predictBench.churn)
+			for !stop.Load() {
+				engineBench.churnDay++ // keep days monotonically acceptable
+				for i := range batch {
+					batch[i].Day = engineBench.churnDay
+				}
+				eng.IngestBatch(batch)
+			}
+		}()
+		readers(b, eng)
+		b.StopTimer()
+		stop.Store(true)
+		<-done
+	})
+}

@@ -2,9 +2,10 @@
 // JSON perf baseline: benchmark name -> {ns_per_op, b_per_op,
 // allocs_per_op, runs}. With -count>1 repetitions it records the
 // minimum per metric — the least-interfered-with run is the best
-// estimate of the code's cost on a noisy CI box. The `make bench`
-// target pipes the ingest/serving benchmarks through this tool into
-// BENCH_ingest.json so the perf trajectory is reviewable across PRs.
+// estimate of the code's cost on a noisy CI box. Each bench family
+// writes its own baseline file via -o so refreshing one never clobbers
+// another: `make bench-ingest` records BENCH_ingest.json, `make
+// bench-predict` records the read-path baseline in BENCH_predict.json.
 //
 //	go test . -run '^$' -bench Ingest -benchmem -count=5 | benchjson -o BENCH_ingest.json
 package main

@@ -3,7 +3,10 @@
 // drive model, each owning its online random forest. SMART collectors
 // POST daily snapshots; the service learns continuously (no retraining
 // jobs, no training pipelines) and answers every snapshot with a live
-// risk prediction.
+// risk prediction. Fleet dashboards score without writing through
+// POST /v1/predict and /v1/predict/batch: lock-free reads against each
+// model's published frozen snapshot, republished every -freeze-every
+// applied observations or -freeze-interval of wall time.
 //
 // With -data the engine is crash-safe: every observation is appended to
 // a write-ahead log before it is applied, and periodic per-model
@@ -31,6 +34,13 @@
 //	-> {"serial":"Z302T4N9","day":812,"score":0.11,"risky":false,"final":false}
 //
 //	curl -s localhost:8080/v1/observe/batch -d '{"observations":[...]}'
+//	curl -s localhost:8080/v1/predict -d '{
+//	  "model":"ST4000DM000",
+//	  "norm":{"5":100,"187":98,"197":100},
+//	  "raw":{"5":0,"9":19512,"187":2,"197":0}
+//	}'
+//	-> {"model":"ST4000DM000","score":0.11,"risky":false,
+//	    "updates_behind":17,"snapshot_age_seconds":0.4}
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/models
 //	curl -s 'localhost:8080/v1/importance?model=ST4000DM000'
@@ -64,6 +74,8 @@ func main() {
 		dataDir     = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		snapEvery   = flag.Duration("snapshot-every", time.Minute, "snapshot interval (with -data)")
 		mailbox     = flag.Int("mailbox", 256, "per-model shard mailbox capacity")
+		freezeEvery = flag.Int("freeze-every", 256, "publish a fresh scoring snapshot for /v1/predict after this many applied observations per model (negative disables republication)")
+		freezeIval  = flag.Duration("freeze-interval", time.Second, "also publish a fresh scoring snapshot after this much wall time (negative disables the time trigger)")
 		batchBytes  = flag.Int64("batch-max-bytes", orfdisk.DefaultBatchMaxBytes, "request body cap for POST /v1/observe/batch (413 above)")
 		batchItems  = flag.Int("batch-max-items", orfdisk.DefaultBatchMaxItems, "max observations per POST /v1/observe/batch request (400 above)")
 		metricsAddr = flag.String("metrics-addr", "", "separate admin listener for /metrics and pprof; empty serves /metrics on -addr")
@@ -90,11 +102,13 @@ func main() {
 			Horizon:   *horizon,
 			ORF:       orfdisk.ORFConfig{Trees: *trees, LambdaNeg: *lambdaN},
 		},
-		DataDir:       *dataDir,
-		SnapshotEvery: *snapEvery,
-		Mailbox:       *mailbox,
-		Metrics:       reg,
-		Logger:        logger,
+		DataDir:        *dataDir,
+		SnapshotEvery:  *snapEvery,
+		Mailbox:        *mailbox,
+		FreezeEvery:    *freezeEvery,
+		FreezeInterval: *freezeIval,
+		Metrics:        reg,
+		Logger:         logger,
 	})
 	if err != nil {
 		logger.Error("recovery failed", "err", err)

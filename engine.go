@@ -47,6 +47,13 @@ type Engine struct {
 	mu      sync.RWMutex
 	modelOf map[string]string // serial -> drive model routing memory
 
+	// frozen maps model -> *frozenSlot, the lock-free read path's
+	// publication points (see predict.go). Slots are created with their
+	// shards and never removed.
+	frozen         sync.Map
+	freezeEvery    int
+	freezeInterval time.Duration
+
 	// scratch recycles IngestBatch's grouping state (maps and index
 	// slices) across calls; the per-call result slice still allocates
 	// because it is handed to the caller.
@@ -86,6 +93,15 @@ type EngineConfig struct {
 	// models on this interval (in addition to the final snapshot taken
 	// by Close).
 	SnapshotEvery time.Duration
+	// FreezeEvery is the read path's publication cadence: a shard
+	// republishes its frozen scoring snapshot after this many applied
+	// observations (default 256). Negative disables republication (the
+	// construction-time snapshot is still published).
+	FreezeEvery int
+	// FreezeInterval additionally republishes when the published
+	// snapshot is older than this and at least one observation has been
+	// applied since (default 1s; negative disables the time trigger).
+	FreezeInterval time.Duration
 	// SegmentBytes, SyncEvery and SyncInterval tune the WAL (see
 	// internal/wal.Options); zero selects its defaults.
 	SegmentBytes int64
@@ -102,6 +118,13 @@ type EngineConfig struct {
 
 type shardState struct {
 	p *Predictor
+	// slot is the model's read-path publication point; sinceFreeze and
+	// lastFreeze drive the republication cadence. Only the shard's
+	// worker touches sinceFreeze/lastFreeze (readers touch the slot's
+	// atomics only).
+	slot        *frozenSlot
+	sinceFreeze int
+	lastFreeze  time.Time
 	// lastSeq is the WAL sequence number of the last record applied to
 	// this shard. Only the shard's worker touches it.
 	lastSeq uint64
@@ -129,6 +152,9 @@ type engineMetrics struct {
 	snapshotBytes   *metrics.Gauge
 	replayed        *metrics.Counter
 	replaySkipped   *metrics.Counter
+	freezes         *metrics.Counter
+	predictRequests *metrics.Counter
+	predictSeconds  *metrics.Histogram
 }
 
 func newEngineMetrics(reg *metrics.Registry) engineMetrics {
@@ -141,6 +167,9 @@ func newEngineMetrics(reg *metrics.Registry) engineMetrics {
 		snapshotBytes:   reg.Gauge("engine_snapshot_bytes", "Bytes written by the most recent snapshot pass."),
 		replayed:        reg.Counter("engine_recovery_replayed_records_total", "WAL records replayed during crash recovery."),
 		replaySkipped:   reg.Counter("engine_recovery_skipped_records_total", "WAL records skipped during recovery because the predictor rejected them (poison pills)."),
+		freezes:         reg.Counter("engine_frozen_publishes_total", "Frozen scoring snapshots published for the lock-free read path."),
+		predictRequests: reg.Counter("predict_requests_total", "Read-path scoring requests served from frozen snapshots (Score and ScoreBatch calls)."),
+		predictSeconds:  reg.Histogram("predict_seconds", "Wall time of one read-path scoring request (single or batch)."),
 	}
 }
 
@@ -173,18 +202,34 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		recovered: make(map[string]*shardState),
 		snapped:   make(map[string]uint64),
 	}
+	e.freezeEvery = cfg.FreezeEvery
+	if e.freezeEvery == 0 {
+		e.freezeEvery = 256
+	}
+	e.freezeInterval = cfg.FreezeInterval
+	if e.freezeInterval == 0 {
+		e.freezeInterval = time.Second
+	}
 	e.pool = engine.New(engine.Config{
 		Mailbox:        cfg.Mailbox,
 		EnqueueTimeout: cfg.EnqueueTimeout,
 		Metrics:        reg,
 	}, e.newShard)
 	e.registerModelGauges()
+	e.registerFrozenGauges()
 	if cfg.DataDir != "" {
 		if err := e.recover(); err != nil {
 			e.pool.Close()
 			if e.wal != nil {
 				e.wal.Close()
 			}
+			return nil, err
+		}
+		// Republish every recovered shard's snapshot so readers start
+		// from post-replay state, not the construction-time freeze.
+		if err := e.refreezeAll(); err != nil {
+			e.pool.Close()
+			e.wal.Close()
 			return nil, err
 		}
 		if cfg.SnapshotEvery > 0 {
@@ -233,10 +278,15 @@ func (e *Engine) registerModelGauges() {
 func (e *Engine) MetricsRegistry() *metrics.Registry { return e.reg }
 
 func (e *Engine) newShard(model string) *shardState {
-	if st, ok := e.recovered[model]; ok {
-		return st
+	st, ok := e.recovered[model]
+	if !ok {
+		st = &shardState{p: NewPredictor(e.cfg.Predictor)}
 	}
-	return &shardState{p: NewPredictor(e.cfg.Predictor)}
+	// Publish the first frozen snapshot before the shard serves anything:
+	// the read path must never find a live shard without one.
+	st.slot = e.slotFor(model)
+	e.publish(st)
+	return st
 }
 
 func (e *Engine) snapshotLoop(every time.Duration) {
@@ -325,6 +375,7 @@ func (e *Engine) applyLogged(s *shardState, obs FleetObservation) (Prediction, e
 		e.met.ingestErrors.Inc()
 		return pred, err
 	}
+	e.noteApplied(s, 1)
 	if obs.Failed {
 		e.mu.Lock()
 		delete(e.modelOf, obs.Serial)
@@ -377,6 +428,7 @@ func (e *Engine) applyBatch(s *shardState, batch []FleetObservation, idxs []int,
 		}
 		e.mu.Unlock()
 		e.met.ingests.Add(uint64(len(idxs)))
+		applied := 0
 		for _, i := range idxs {
 			obs := batch[i]
 			pred, err := s.p.Ingest(obs.Observation)
@@ -385,11 +437,18 @@ func (e *Engine) applyBatch(s *shardState, batch []FleetObservation, idxs []int,
 				e.met.ingestErrors.Inc()
 				continue
 			}
+			applied++
 			if obs.Failed {
 				e.mu.Lock()
 				delete(e.modelOf, obs.Serial)
 				e.mu.Unlock()
 			}
+		}
+		if applied > 0 {
+			// One cadence check per batch: snapshots publish at most once
+			// per shard slice, which is exactly the "every K updates"
+			// granularity the read path promises.
+			e.noteApplied(s, applied)
 		}
 		return
 	}
@@ -757,6 +816,9 @@ func (e *Engine) recover() error {
 				s.lastSeq = seq
 				if s.firstUnsnapped == 0 {
 					s.firstUnsnapped = seq
+				}
+				if ierr == nil {
+					e.noteApplied(s, 1)
 				}
 			}); err != nil {
 				return err

@@ -1,0 +1,130 @@
+package orfdisk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"orfdisk/internal/core"
+	"orfdisk/internal/smart"
+)
+
+// FrozenModel is an immutable point-in-time scoring snapshot of a
+// Predictor: the frozen forest plus frozen copies of everything the
+// score path touches — the feature selection, the online scaler's
+// fitted ranges, the alarm threshold and the positive-sample alarm
+// gate. Scores are bit-identical to what Predictor.Score returned at
+// the freeze moment, but a FrozenModel never changes after Freeze
+// returns, so any number of goroutines may Score it concurrently with
+// no locks while the live predictor keeps learning.
+//
+// This is the unit the serving engine publishes for its lock-free read
+// path (Engine.Score, POST /v1/predict); embedders running their own
+// Predictor get the same capability from Predictor.Freeze / Frozen.
+type FrozenModel struct {
+	features  []int
+	scaler    *smart.Scaler
+	forest    *core.FrozenForest
+	threshold float64
+	posSeen   int64
+	frozenAt  time.Time
+
+	// scratch recycles the per-call projection buffer across all of one
+	// predictor's snapshots, so steady-state Score allocates nothing.
+	scratch *sync.Pool
+}
+
+// Freeze captures the predictor's current scoring state as an immutable
+// snapshot and publishes it (see Frozen). Like Stats, Freeze must not
+// run concurrently with Ingest — call it from whatever context owns the
+// predictor (the engine calls it on the model's shard worker).
+func (p *Predictor) Freeze() *FrozenModel {
+	if p.scorePool == nil {
+		dim := len(p.features)
+		p.scorePool = &sync.Pool{New: func() any {
+			buf := make([]float64, dim)
+			return &buf
+		}}
+	}
+	fm := &FrozenModel{
+		features:  p.features,
+		scaler:    p.scaler.Clone(),
+		forest:    p.forest.Freeze(),
+		threshold: p.threshold,
+		posSeen:   p.forest.PosSeen(),
+		frozenAt:  time.Now(),
+		scratch:   p.scorePool,
+	}
+	p.frozen.Store(fm)
+	return fm
+}
+
+// Frozen returns the most recently frozen snapshot, or nil if Freeze
+// has never been called. The load is a single atomic pointer read, safe
+// from any goroutine — the intended pattern is one owner calling Freeze
+// on a cadence while readers score against Frozen().
+func (p *Predictor) Frozen() *FrozenModel { return p.frozen.Load() }
+
+// Score returns the failure probability for a raw catalog vector,
+// bit-identical to the score Predictor.Score produced at the freeze
+// moment. It allocates nothing in steady state and takes no locks.
+func (fm *FrozenModel) Score(values []float64) (float64, error) {
+	if len(values) != smart.NumFeatures() {
+		return 0, fmt.Errorf("orfdisk: %d values, want %d", len(values), smart.NumFeatures())
+	}
+	bp := fm.scratch.Get().(*[]float64)
+	x := *bp
+	for i, j := range fm.features {
+		x[i] = fm.scaler.TransformOne(i, values[j])
+	}
+	score := fm.forest.Score(x)
+	fm.scratch.Put(bp)
+	return score, nil
+}
+
+// ScoreBatchInto scores every catalog vector of X into dst (grown or
+// truncated to len(X)) and returns dst; a recycled dst makes repeated
+// batch scoring allocation-free. The whole batch is validated upfront —
+// on error nothing is scored.
+func (fm *FrozenModel) ScoreBatchInto(dst []float64, X [][]float64) ([]float64, error) {
+	for i := range X {
+		if len(X[i]) != smart.NumFeatures() {
+			return dst, fmt.Errorf("orfdisk: batch vector %d carries %d values, want %d",
+				i, len(X[i]), smart.NumFeatures())
+		}
+	}
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	} else {
+		dst = dst[:len(X)]
+	}
+	bp := fm.scratch.Get().(*[]float64)
+	x := *bp
+	for k, values := range X {
+		for i, j := range fm.features {
+			x[i] = fm.scaler.TransformOne(i, values[j])
+		}
+		dst[k] = fm.forest.Score(x)
+	}
+	fm.scratch.Put(bp)
+	return dst, nil
+}
+
+// Risky reports whether score trips the snapshot's alarm: at or above
+// the frozen threshold, with alarms suppressed until the forest had
+// absorbed at least one positive sample (exactly Ingest's gate).
+func (fm *FrozenModel) Risky(score float64) bool {
+	return score >= fm.threshold && fm.posSeen > 0
+}
+
+// Threshold returns the alarm threshold captured at freeze time.
+func (fm *FrozenModel) Threshold() float64 { return fm.threshold }
+
+// FrozenAt returns the wall-clock freeze moment.
+func (fm *FrozenModel) FrozenAt() time.Time { return fm.frozenAt }
+
+// Updates returns the number of forest updates absorbed at freeze time.
+func (fm *FrozenModel) Updates() int64 { return fm.forest.Updates() }
+
+// Nodes returns the total tree-node count of the frozen forest.
+func (fm *FrozenModel) Nodes() int { return fm.forest.Nodes() }

@@ -211,27 +211,44 @@ func (f *Forest) Predict(x []float64, threshold float64) bool {
 // prediction), preserving order. It must not run concurrently with
 // Update; concurrent PredictProbaBatch calls are safe.
 func (f *Forest) PredictProbaBatch(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+	return f.PredictProbaBatchInto(nil, X)
+}
+
+// PredictProbaBatchInto is PredictProbaBatch with a caller-provided
+// destination: dst is grown (or truncated) to len(X), filled, and
+// returned, so a recycled dst makes repeated batch scoring
+// allocation-free. The same concurrency rules as PredictProbaBatch
+// apply.
+func (f *Forest) PredictProbaBatchInto(dst []float64, X [][]float64) []float64 {
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	} else {
+		dst = dst[:len(X)]
+	}
 	p := f.workerPool()
 	if p == nil || len(X) == 1 {
 		for i, x := range X {
-			out[i] = f.PredictProba(x)
+			dst[i] = f.PredictProba(x)
 		}
-		return out
+		return dst
 	}
 	p.run(func(w int) {
 		lo, hi := chunkRange(w, p.workers, len(X))
 		for i := lo; i < hi; i++ {
-			out[i] = f.PredictProba(X[i])
+			dst[i] = f.PredictProba(X[i])
 		}
 	})
-	return out
+	return dst
 }
 
 // PosSeen returns the number of positive samples absorbed so far. It is
 // O(1) — use it on hot paths instead of Stats, which walks every node of
 // every tree.
 func (f *Forest) PosSeen() int64 { return f.posSeen }
+
+// Updates returns the number of Update calls absorbed so far. Like
+// PosSeen it is O(1), for hot paths that must not pay for Stats.
+func (f *Forest) Updates() int64 { return f.updates }
 
 // Stats is a point-in-time summary of forest state.
 type Stats struct {

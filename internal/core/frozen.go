@@ -1,0 +1,177 @@
+package core
+
+import "fmt"
+
+// FrozenForest is an immutable, read-optimized snapshot of a Forest's
+// decision structure. Freeze flattens every live tree's oNode slice —
+// whose 88-byte nodes drag leaf statistics, candidate-test pools and
+// split provenance through cache on every traversal — into a compact
+// struct-of-arrays layout: contiguous feature/thresh/left/right/leafProb
+// arrays shared by all trees, with child indexes pre-offset so the hot
+// loop never adds a per-tree base. A traversal step touches at most 24
+// bytes spread over dense arrays instead of one sparse 88-byte record,
+// so far more of the forest stays cache-resident.
+//
+// Scores are bit-identical to Forest.PredictProba at the freeze point:
+// trees are visited in the same order, each leaf probability is computed
+// with the same Laplace expression, and the final division uses the same
+// divisor. A FrozenForest is never mutated after Freeze returns, so any
+// number of goroutines may Score concurrently with no synchronization —
+// this is the read path's publication unit (see Engine).
+type FrozenForest struct {
+	dim     int
+	divisor float64 // float64(tree count), the live path's divisor
+	roots   []int32 // root node index per tree, in tree order
+
+	// Node arrays, indexed by global node id. feature >= 0 is an internal
+	// node ("x[feature] <= thresh goes left"); feature < 0 is a leaf whose
+	// positive probability sits in leafProb.
+	feature  []int32
+	thresh   []float64
+	left     []int32
+	right    []int32
+	leafProb []float64
+
+	// walk is the scoring projection of the arrays above: one 16-byte
+	// record per node, so a traversal step reads exactly one item (a
+	// quarter cache line) instead of gathering from three arrays. Leaves
+	// reuse the thresh slot for their probability — the same float64
+	// bits leafProb holds — keeping the walk single-stream.
+	walk []frozenNode
+
+	updates int64
+}
+
+// frozenNode is the packed per-node record Score traverses. The left
+// child is implicit (id+1, preorder layout); feature < 0 marks a leaf
+// whose positive probability sits in thresh.
+type frozenNode struct {
+	thresh  float64
+	feature int32
+	right   int32
+}
+
+// Freeze builds a FrozenForest from the forest's current state. Like
+// Stats and PredictProba it must not run concurrently with Update (tree
+// structure mutates); the returned snapshot is immutable and safe to
+// share across goroutines.
+func (f *Forest) Freeze() *FrozenForest {
+	total := 0
+	for _, t := range f.trees {
+		total += len(t.nodes)
+	}
+	fz := &FrozenForest{
+		dim:      f.dim,
+		divisor:  float64(len(f.trees)),
+		roots:    make([]int32, len(f.trees)),
+		feature:  make([]int32, total),
+		thresh:   make([]float64, total),
+		left:     make([]int32, total),
+		right:    make([]int32, total),
+		leafProb: make([]float64, total),
+		updates:  f.updates,
+	}
+	base := int32(0)
+	var order []int32 // frozen position (within tree) -> live node id
+	for ti, t := range f.trees {
+		fz.roots[ti] = base
+		// Lay the tree out in preorder (node, left subtree, right
+		// subtree): the left child always sits at id+1, so a left-going
+		// traversal step walks sequential memory the prefetcher already
+		// pulled in, and only right turns jump.
+		order = order[:0]
+		pos := make([]int32, len(t.nodes)) // live id -> frozen position
+		stack := []int32{0}
+		for len(stack) > 0 {
+			live := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			pos[live] = int32(len(order))
+			order = append(order, live)
+			if n := &t.nodes[live]; n.feature >= 0 {
+				stack = append(stack, n.right, n.left) // left popped first
+			}
+		}
+		for p, live := range order {
+			n := &t.nodes[live]
+			id := base + int32(p)
+			fz.feature[id] = n.feature
+			if n.feature >= 0 {
+				fz.thresh[id] = n.thresh
+				fz.left[id] = base + pos[n.left]
+				fz.right[id] = base + pos[n.right]
+			} else {
+				fz.leafProb[id] = n.prob()
+			}
+		}
+		base += int32(len(order))
+	}
+	// The preorder copy only includes reachable nodes; trim in case a
+	// tree carried any unreachable ones.
+	fz.feature = fz.feature[:base]
+	fz.thresh = fz.thresh[:base]
+	fz.left = fz.left[:base]
+	fz.right = fz.right[:base]
+	fz.leafProb = fz.leafProb[:base]
+	fz.walk = make([]frozenNode, base)
+	for id := range fz.walk {
+		n := frozenNode{feature: fz.feature[id], right: fz.right[id], thresh: fz.thresh[id]}
+		if n.feature < 0 {
+			n.thresh = fz.leafProb[id]
+		}
+		fz.walk[id] = n
+	}
+	return fz
+}
+
+// Score returns the mean positive probability across trees for x,
+// bit-identical to what Forest.PredictProba returned at the freeze
+// point. It allocates nothing and takes no locks.
+func (fz *FrozenForest) Score(x []float64) float64 {
+	if len(x) != fz.dim {
+		panic(fmt.Sprintf("core: Score dimension %d, want %d", len(x), fz.dim))
+	}
+	walk := fz.walk
+	sum := 0.0
+	for _, id := range fz.roots {
+		n := walk[id]
+		for n.feature >= 0 {
+			// Preorder layout: the left child is always id+1, so only
+			// right turns jump in memory.
+			kid := id + 1
+			if x[n.feature] > n.thresh {
+				kid = n.right
+			}
+			id = kid
+			n = walk[id]
+		}
+		sum += n.thresh // a leaf's thresh slot holds its probability
+	}
+	return sum / fz.divisor
+}
+
+// ScoreBatchInto scores every vector of X into dst (grown or truncated
+// to len(X)) and returns dst. Steady state with a recycled dst allocates
+// nothing. Safe to call from many goroutines with distinct dst slices.
+func (fz *FrozenForest) ScoreBatchInto(dst []float64, X [][]float64) []float64 {
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	} else {
+		dst = dst[:len(X)]
+	}
+	for i, x := range X {
+		dst[i] = fz.Score(x)
+	}
+	return dst
+}
+
+// Dim returns the input dimensionality.
+func (fz *FrozenForest) Dim() int { return fz.dim }
+
+// Trees returns the ensemble size.
+func (fz *FrozenForest) Trees() int { return len(fz.roots) }
+
+// Nodes returns the total node count across trees.
+func (fz *FrozenForest) Nodes() int { return len(fz.feature) }
+
+// Updates returns the number of forest updates absorbed at freeze time.
+func (fz *FrozenForest) Updates() int64 { return fz.updates }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+// walkBench caches the grown forest across -count repetitions: the
+// quarter-second-per-thousand-updates setup runs once per process.
+var walkBench struct {
+	once   sync.Once
+	f      *Forest
+	fz     *FrozenForest
+	probes [][]float64
+}
+
+// deepBenchForest grows a large forest on a synthetic stream so the
+// live-vs-frozen layout comparison runs in the out-of-cache regime a
+// fleet-scale model lives in (tens of MB of oNodes), not a toy forest
+// that fits in L2 and hides the layout difference.
+func deepBenchForest(b *testing.B, updates int) (*Forest, [][]float64) {
+	b.Helper()
+	const dim = 19
+	cfg := Config{
+		Trees: 30, NumTests: 20, MinParentSize: 20, MinGain: 0.01,
+		LambdaPos: 1, LambdaNeg: 1, Seed: 7, AgeThreshold: 1 << 30,
+	}
+	f := New(dim, cfg)
+	r := rng.New(11)
+	sample := func() ([]float64, int) {
+		x := make([]float64, dim)
+		y := 0
+		if r.Bernoulli(0.3) {
+			y = 1
+		}
+		for i := range x {
+			x[i] = r.Float64()
+			if y == 1 && i < 6 {
+				x[i] = clamp01(x[i]*0.5 + 0.45)
+			}
+		}
+		return x, y
+	}
+	for i := 0; i < updates; i++ {
+		x, y := sample()
+		f.Update(x, y)
+	}
+	probes := make([][]float64, 4096)
+	for i := range probes {
+		probes[i], _ = sample()
+	}
+	return f, probes
+}
+
+// BenchmarkScoreFrozen is the tentpole comparison: the same probes
+// through the live oNode layout (Forest.PredictProba) and the frozen
+// packed layout (FrozenForest.Score), no projection or scaling on
+// either side. Both paths must report 0 allocs/op.
+func BenchmarkScoreFrozen(b *testing.B) {
+	walkBench.once.Do(func() {
+		updates := 400000
+		if testing.Short() {
+			updates = 40000
+		}
+		walkBench.f, walkBench.probes = deepBenchForest(b, updates)
+		walkBench.fz = walkBench.f.Freeze()
+	})
+	f, fz, probes := walkBench.f, walkBench.fz, walkBench.probes
+	b.Logf("%d nodes", fz.Nodes())
+	b.Run("live", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.PredictProba(probes[i%len(probes)])
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fz.Score(probes[i%len(probes)])
+		}
+	})
+	b.Run("frozen-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				fz.Score(probes[i%len(probes)])
+				i++
+			}
+		})
+	})
+}

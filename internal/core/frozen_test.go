@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"orfdisk/internal/rng"
+)
+
+// frozenGrid is the config grid the freeze/score property tests sweep:
+// deep and shallow trees, balanced and two-Poisson weighting, single-
+// and multi-worker update paths.
+func frozenGrid() []Config {
+	return []Config{
+		{Trees: 1, NumTests: 10, MinParentSize: 30, MinGain: 0.05,
+			LambdaPos: 1, LambdaNeg: 1, Seed: 3, AgeThreshold: 1 << 30},
+		{Trees: 7, NumTests: 20, MinParentSize: 40, MinGain: 0.05,
+			LambdaPos: 1, LambdaNeg: 1, Seed: 5, AgeThreshold: 1 << 30},
+		{Trees: 10, NumTests: 15, MinParentSize: 40, MinGain: 0.03, MaxDepth: 3,
+			LambdaPos: 1, LambdaNeg: 1, Seed: 9, AgeThreshold: 1 << 30},
+		{Trees: 8, NumTests: 20, MinParentSize: 60, MinGain: 0.05,
+			LambdaPos: 1, LambdaNeg: 0.2, Seed: 13, AgeThreshold: 400},
+		{Trees: 6, NumTests: 20, MinParentSize: 40, MinGain: 0.05,
+			LambdaPos: 1, LambdaNeg: 1, Seed: 17, AgeThreshold: 1 << 30,
+			Workers: 4},
+	}
+}
+
+// TestFrozenScoreMatchesPredictProba is the bit-identity property: at
+// several points of a forest's growth, Freeze().Score must equal
+// PredictProba exactly — not approximately — on random vectors.
+func TestFrozenScoreMatchesPredictProba(t *testing.T) {
+	for ci, cfg := range frozenGrid() {
+		f := New(3, cfg)
+		r := rng.New(uint64(100 + ci))
+		probe := func(stage string) {
+			fz := f.Freeze()
+			if fz.Trees() != cfg.Trees || fz.Dim() != 3 {
+				t.Fatalf("cfg %d %s: frozen shape %d trees dim %d", ci, stage, fz.Trees(), fz.Dim())
+			}
+			if fz.Updates() != f.Updates() {
+				t.Fatalf("cfg %d %s: frozen updates %d, live %d", ci, stage, fz.Updates(), f.Updates())
+			}
+			for k := 0; k < 200; k++ {
+				x := []float64{r.Float64(), r.Float64(), r.Float64()}
+				want := f.PredictProba(x)
+				if got := fz.Score(x); got != want {
+					t.Fatalf("cfg %d %s: Score(%v) = %v, PredictProba = %v", ci, stage, x, got, want)
+				}
+			}
+		}
+		probe("empty")
+		for i := 0; i < 3000; i++ {
+			x, y := streamSample(r, 0.3, 0.4)
+			f.Update(x, y)
+			if i == 50 || i == 500 {
+				probe("growing")
+			}
+		}
+		probe("grown")
+		f.Close()
+	}
+}
+
+// TestFrozenImmutableAfterUpdates pins the RCU contract: a snapshot's
+// scores must not move when the live forest keeps learning past the
+// freeze point.
+func TestFrozenImmutableAfterUpdates(t *testing.T) {
+	f := New(3, balancedCfg(21))
+	r := rng.New(22)
+	for i := 0; i < 1500; i++ {
+		x, y := streamSample(r, 0.5, 0.4)
+		f.Update(x, y)
+	}
+	fz := f.Freeze()
+	var probes [][]float64
+	var want []float64
+	for k := 0; k < 100; k++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		probes = append(probes, x)
+		want = append(want, fz.Score(x))
+	}
+	for i := 0; i < 1500; i++ {
+		x, y := streamSample(r, 0.5, 0.4)
+		f.Update(x, y)
+	}
+	moved := false
+	for k, x := range probes {
+		if fz.Score(x) != want[k] {
+			t.Fatalf("frozen score for probe %d moved after live updates", k)
+		}
+		if f.PredictProba(x) != want[k] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("live forest did not move on any probe after 1500 updates; immutability test is vacuous")
+	}
+}
+
+// TestFrozenScoreBatchIntoParity checks both batch-into paths (live and
+// frozen) against their scalar counterparts and the dst grow/truncate
+// contract.
+func TestFrozenScoreBatchIntoParity(t *testing.T) {
+	f := New(3, balancedCfg(31))
+	defer f.Close()
+	r := rng.New(32)
+	for i := 0; i < 2000; i++ {
+		x, y := streamSample(r, 0.5, 0.4)
+		f.Update(x, y)
+	}
+	X := make([][]float64, 64)
+	for i := range X {
+		X[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	fz := f.Freeze()
+
+	dst := make([]float64, 7) // too short: must grow
+	dst = fz.ScoreBatchInto(dst, X)
+	if len(dst) != len(X) {
+		t.Fatalf("ScoreBatchInto returned %d results for %d vectors", len(dst), len(X))
+	}
+	live := f.PredictProbaBatchInto(make([]float64, 128), X) // too long: must truncate
+	if len(live) != len(X) {
+		t.Fatalf("PredictProbaBatchInto returned %d results for %d vectors", len(live), len(X))
+	}
+	for i := range X {
+		want := f.PredictProba(X[i])
+		if dst[i] != want || live[i] != want {
+			t.Fatalf("vector %d: frozen batch %v, live batch %v, scalar %v", i, dst[i], live[i], want)
+		}
+	}
+
+	recycled := fz.ScoreBatchInto(dst, X[:10])
+	if len(recycled) != 10 || &recycled[0] != &dst[0] {
+		t.Fatal("ScoreBatchInto did not recycle a large-enough dst")
+	}
+}

@@ -79,27 +79,42 @@ func (s *Scaler) Transform(x, dst []float64) []float64 {
 		dst = make([]float64, len(x))
 	}
 	for i, v := range x {
-		lo, hi := s.min[i], s.max[i]
-		if math.IsNaN(v) || math.IsInf(lo, 1) || hi <= lo {
-			dst[i] = 0
-			continue
-		}
-		span := hi - lo
-		var t float64
-		if math.IsInf(span, 0) {
-			// Avoid overflow for extreme ranges by halving first.
-			t = (v/2 - lo/2) / (hi/2 - lo/2)
-		} else {
-			t = (v - lo) / span
-		}
-		if t < 0 {
-			t = 0
-		} else if t > 1 {
-			t = 1
-		}
-		dst[i] = t
+		dst[i] = s.TransformOne(i, v)
 	}
 	return dst
+}
+
+// TransformOne returns the scaled value of feature i for raw reading v,
+// using exactly the arithmetic Transform applies elementwise — callers
+// that fuse projection and scaling into one loop (the frozen read path)
+// stay bit-identical to the slice-at-a-time live path.
+func (s *Scaler) TransformOne(i int, v float64) float64 {
+	lo, hi := s.min[i], s.max[i]
+	if math.IsNaN(v) || math.IsInf(lo, 1) || hi <= lo {
+		return 0
+	}
+	span := hi - lo
+	var t float64
+	if math.IsInf(span, 0) {
+		// Avoid overflow for extreme ranges by halving first.
+		t = (v/2 - lo/2) / (hi/2 - lo/2)
+	} else {
+		t = (v - lo) / span
+	}
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// Clone returns an independent copy of the scaler's fitted state, for
+// point-in-time snapshots that must keep scoring with the ranges of the
+// freeze moment while the live scaler moves on.
+func (s *Scaler) Clone() *Scaler {
+	min, max := s.Snapshot()
+	return &Scaler{min: min, max: max, seen: s.seen}
 }
 
 // Snapshot returns copies of the per-feature minima and maxima (for

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"orfdisk/internal/core"
 	"orfdisk/internal/labeling"
@@ -104,6 +106,11 @@ type Predictor struct {
 	relScaled [][]float64
 	relX      [][]float64
 	relY      []int
+
+	// Read-path snapshot state (see Freeze/Frozen): the last published
+	// FrozenModel and the scratch-buffer pool its snapshots share.
+	frozen    atomic.Pointer[FrozenModel]
+	scorePool *sync.Pool
 }
 
 // NewPredictor creates a Predictor.
@@ -250,13 +257,17 @@ func (p *Predictor) IngestBatch(obs []Observation, out []Prediction) ([]Predicti
 func (p *Predictor) Retire(serial string) { p.labeler.Retire(serial) }
 
 // Score returns the current failure probability for a raw catalog vector
-// without updating any state.
+// without updating any state. Steady state it allocates nothing: the
+// projection buffer comes from (and returns to) the same free-list
+// Ingest recycles queue buffers through.
 func (p *Predictor) Score(values []float64) (float64, error) {
 	if len(values) != smart.NumFeatures() {
 		return 0, fmt.Errorf("orfdisk: %d values, want %d", len(values), smart.NumFeatures())
 	}
-	x := smart.Project(values, p.features)
-	return p.forest.PredictProba(p.scaler.Transform(x, p.scaled)), nil
+	x := p.project(values)
+	score := p.forest.PredictProba(p.scaler.Transform(x, p.scaled))
+	p.free = append(p.free, x)
+	return score, nil
 }
 
 // SetThreshold changes the alarm threshold (e.g. after calibrating to a

@@ -1,0 +1,326 @@
+package orfdisk
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// catalogVector builds a full-width catalog vector varied by seed.
+func catalogVector(seed int) []float64 {
+	v := make([]float64, CatalogSize())
+	for i := range v {
+		v[i] = float64((i*7+seed*13)%100) / 100
+	}
+	return v
+}
+
+// TestFreezeMatchesPredictorScore is the embedder-level bit-identity
+// property: a frozen snapshot scores exactly like the live predictor at
+// the freeze moment, including the threshold/positive-gate Risky logic.
+func TestFreezeMatchesPredictorScore(t *testing.T) {
+	obs := engineStream(t, 51, 1)
+	p := NewPredictor(engineTestConfig())
+	for i, o := range obs {
+		if _, err := p.Ingest(o.Observation); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 != 0 {
+			continue
+		}
+		fm := p.Freeze()
+		if p.Frozen() != fm {
+			t.Fatal("Frozen() did not return the latest snapshot")
+		}
+		for k := 0; k < 50; k++ {
+			v := catalogVector(i + k)
+			want, err := p.Score(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fm.Score(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("obs %d probe %d: frozen %v, live %v", i, k, got, want)
+			}
+			if fm.Risky(got) != (got >= p.Threshold() && p.Stats().PosSeen > 0) {
+				t.Fatalf("obs %d probe %d: Risky divergence at score %v", i, k, got)
+			}
+		}
+	}
+
+	fm := p.Freeze()
+	if _, err := fm.Score(make([]float64, 3)); err == nil {
+		t.Fatal("Score accepted a short vector")
+	}
+	X := [][]float64{catalogVector(1), catalogVector(2), catalogVector(3)}
+	scores, err := fm.ScoreBatchInto(nil, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		want, _ := fm.Score(X[i])
+		if scores[i] != want {
+			t.Fatalf("batch score %d diverges from scalar", i)
+		}
+	}
+	if _, err := fm.ScoreBatchInto(nil, [][]float64{catalogVector(1), {1}}); err == nil {
+		t.Fatal("ScoreBatchInto accepted a short vector")
+	}
+}
+
+// TestEngineScoreMatchesFleet drives an engine with per-observation
+// snapshot publication (FreezeEvery=1) next to a shadow fleet fed the
+// same stream: Engine.Score must reproduce the shadow predictor's Score
+// bit-for-bit, because the published snapshot is then never stale.
+func TestEngineScoreMatchesFleet(t *testing.T) {
+	obs := engineStream(t, 61, 3)
+	cfg := engineTestConfig()
+	fleet := NewFleet(cfg)
+	eng, err := NewEngine(EngineConfig{
+		Predictor: cfg, FreezeEvery: 1, FreezeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, o := range obs {
+		fleet.Ingest(o) //nolint:errcheck
+		eng.Ingest(o)   //nolint:errcheck
+	}
+	probe := catalogVector(7)
+	for _, model := range eng.Models() {
+		res, err := eng.Score(model, probe)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		want, err := fleet.Predictor(model).Score(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.Score) != math.Float64bits(want) {
+			t.Fatalf("%s: engine score %v, fleet %v", model, res.Score, want)
+		}
+		if res.UpdatesBehind != 0 {
+			t.Fatalf("%s: updates_behind %d with FreezeEvery=1", model, res.UpdatesBehind)
+		}
+		if res.SnapshotAge < 0 {
+			t.Fatalf("%s: negative snapshot age %v", model, res.SnapshotAge)
+		}
+	}
+}
+
+// TestEngineScoreStaleness pins the staleness contract: with
+// republication disabled, the construction-time snapshot stays
+// published and updates_behind counts every applied observation.
+func TestEngineScoreStaleness(t *testing.T) {
+	obs := engineStream(t, 71, 1)
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), FreezeEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const n = 200
+	applied := 0
+	for _, o := range obs[:n] {
+		if _, err := eng.Ingest(o); err == nil {
+			applied++
+		}
+	}
+	model := eng.Models()[0]
+	res, err := eng.Score(model, catalogVector(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesBehind != int64(applied) {
+		t.Fatalf("updates_behind %d, want %d", res.UpdatesBehind, applied)
+	}
+	// The pre-ingest snapshot has seen no positives: never risky.
+	if res.Risky {
+		t.Fatal("construction-time snapshot raised an alarm")
+	}
+	fm, behind, ok := eng.Frozen(model)
+	if !ok || fm == nil {
+		t.Fatal("Frozen lost the published snapshot")
+	}
+	if behind != int64(applied) {
+		t.Fatalf("Frozen updates_behind %d, want %d", behind, applied)
+	}
+	if fm.Updates() != 0 {
+		t.Fatalf("construction snapshot carries %d updates", fm.Updates())
+	}
+}
+
+func TestEngineScoreErrors(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Score("NOPE", catalogVector(1)); err != ErrUnknownModel {
+		t.Fatalf("unknown model: got %v", err)
+	}
+	if _, err := eng.ScoreBatch("NOPE", nil, nil); err != ErrUnknownModel {
+		t.Fatalf("unknown model batch: got %v", err)
+	}
+	obs := engineStream(t, 81, 1)
+	for _, o := range obs[:50] {
+		eng.Ingest(o) //nolint:errcheck
+	}
+	model := eng.Models()[0]
+	if _, err := eng.Score(model, []float64{1, 2}); err == nil {
+		t.Fatal("Score accepted a short vector")
+	}
+	res, err := eng.ScoreBatch(model, [][]float64{catalogVector(1), {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("valid batch item failed: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("short batch item did not fail")
+	}
+}
+
+// TestEngineScoreConcurrentWithIngest hammers the read path from many
+// goroutines while ingest batches, snapshots and publications churn —
+// the -race job proves the lock-free claim.
+func TestEngineScoreConcurrentWithIngest(t *testing.T) {
+	obs := engineStream(t, 91, 2)
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(),
+		FreezeEvery: 16, FreezeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed both models so readers always have a snapshot and a routing
+	// entry to resolve.
+	for _, o := range obs[:100] {
+		eng.Ingest(o) //nolint:errcheck
+	}
+	models := eng.Models()
+	serial := obs[0].Serial
+
+	var stop atomic.Bool
+	var scored atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probe := catalogVector(g)
+			X := [][]float64{catalogVector(g), catalogVector(g + 1)}
+			var dst []ScoreResult
+			for i := 0; !stop.Load(); i++ {
+				model := models[i%len(models)]
+				if _, err := eng.Score(model, probe); err != nil {
+					t.Errorf("Score: %v", err)
+					return
+				}
+				var err error
+				dst, err = eng.ScoreBatch(model, X, dst)
+				if err != nil {
+					t.Errorf("ScoreBatch: %v", err)
+					return
+				}
+				// Exercise the serial-resolution path too; the entry
+				// legitimately disappears once the disk's failure
+				// observation retires it, so only the call is asserted
+				// race-free, not the lookup result.
+				eng.ModelOf(serial)
+				scored.Add(1)
+			}
+		}()
+	}
+	for i := 100; i < len(obs); i += 64 {
+		end := i + 64
+		if end > len(obs) {
+			end = len(obs)
+		}
+		eng.IngestBatch(obs[i:end])
+		if (i/64)%8 == 0 {
+			if err := eng.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if scored.Load() == 0 {
+		t.Fatal("readers never scored")
+	}
+}
+
+// TestScoreAllocations pins the zero-allocation guarantees of the read
+// path (and satellite: the live Predictor.Score free-list recycling).
+func TestScoreAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented sync.Pool drops items on purpose, inflating alloc counts")
+	}
+	obs := engineStream(t, 101, 1)
+	cfg := engineTestConfig()
+	p := NewPredictor(cfg)
+	for _, o := range obs[:500] {
+		p.Ingest(o.Observation) //nolint:errcheck
+	}
+	probe := catalogVector(3)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.Score(probe); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Predictor.Score allocates %v per call", allocs)
+	}
+	fm := p.Freeze()
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := fm.Score(probe); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("FrozenModel.Score allocates %v per call", allocs)
+	}
+
+	eng, err := NewEngine(EngineConfig{Predictor: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, o := range obs[:500] {
+		eng.Ingest(o) //nolint:errcheck
+	}
+	model := eng.Models()[0]
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Score(model, probe); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Engine.Score allocates %v per call", allocs)
+	}
+	X := [][]float64{catalogVector(1), catalogVector(2), catalogVector(3), catalogVector(4)}
+	dst := make([]ScoreResult, 0, len(X))
+	if allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, err = eng.ScoreBatch(model, X, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Engine.ScoreBatch allocates %v per call", allocs)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package orfdisk
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-count tests skip under -race: the instrumented sync.Pool
+// intentionally drops items to widen the race window, which shows up as
+// spurious allocations.
+const raceEnabled = true

@@ -25,12 +25,25 @@ import (
 //	POST /v1/observe        {serial, model, day, failed, norm:{id:val}, raw:{id:val}}
 //	                        -> {serial, day, score, risky, final}
 //	POST /v1/observe/batch  {observations:[...]} -> [{serial, day, score, risky, final, error?}]
+//	POST /v1/predict        {model|serial, norm, raw, values?}
+//	                        -> {model, score, risky, updates_behind, snapshot_age_seconds}
+//	POST /v1/predict/batch  {model, items:[{serial?, norm, raw, values?}...]}
+//	                        -> {model, updates_behind, snapshot_age_seconds, results:[...]}
 //	POST /v1/retire         {serial}
 //	GET  /v1/stats          -> per-model forest statistics
 //	GET  /v1/models         -> live shards (model, tracked disks, updates)
 //	GET  /v1/importance?model=M -> ranked feature importance
 //	GET  /healthz           -> 200 ok
 //	GET  /metrics           -> Prometheus text exposition
+//
+// The /v1/predict endpoints are the fleet-dashboard read path: pure
+// reads served from each model's published frozen snapshot (no WAL
+// append, no labeling-queue rotation, no shard mailbox hop, no locks),
+// so scoring throughput scales with reader cores independently of
+// ingest. Scores may trail ingest by up to the publication cadence
+// (EngineConfig.FreezeEvery / FreezeInterval); every response carries
+// updates_behind and snapshot_age_seconds so callers see the staleness
+// they got.
 //
 // Request bodies are limited to 1 MiB — except /v1/observe/batch, which
 // has its own configurable byte and item limits (SetBatchLimits; 413 on
@@ -185,6 +198,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.handle(mux, http.MethodPost, "/v1/observe", s.handleObserve)
 	s.handle(mux, http.MethodPost, "/v1/observe/batch", s.handleObserveBatch)
+	s.handle(mux, http.MethodPost, "/v1/predict", s.handlePredict)
+	s.handle(mux, http.MethodPost, "/v1/predict/batch", s.handlePredictBatch)
 	s.handle(mux, http.MethodPost, "/v1/retire", s.handleRetire)
 	s.handle(mux, http.MethodGet, "/v1/stats", s.handleStats)
 	s.handle(mux, http.MethodGet, "/v1/models", s.handleModels)

@@ -1,0 +1,177 @@
+package orfdisk
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// The HTTP face of the lock-free read path. Both endpoints score
+// against the target model's published frozen snapshot — no WAL
+// append, no labeling-queue rotation, no shard mailbox hop — and
+// surface the snapshot's staleness (updates_behind,
+// snapshot_age_seconds) in every response.
+
+// PredictRequest is the POST /v1/predict payload. The target model may
+// be named directly (lock-free) or resolved from a serial the engine
+// has previously observed (takes the routing read lock). Values
+// optionally supplies the full catalog vector, overriding Norm/Raw.
+type PredictRequest struct {
+	Model  string          `json:"model,omitempty"`
+	Serial string          `json:"serial,omitempty"`
+	Norm   map[int]float64 `json:"norm,omitempty"`
+	Raw    map[int]float64 `json:"raw,omitempty"`
+	Values []float64       `json:"values,omitempty"`
+}
+
+func (r PredictRequest) values() []float64 {
+	if r.Values != nil {
+		return r.Values
+	}
+	return PackValues(r.Norm, r.Raw)
+}
+
+// PredictResponse is the POST /v1/predict reply.
+type PredictResponse struct {
+	Model  string  `json:"model"`
+	Serial string  `json:"serial,omitempty"`
+	Score  float64 `json:"score"`
+	Risky  bool    `json:"risky"`
+	// UpdatesBehind counts observations the model's shard has applied
+	// since the scoring snapshot was published; SnapshotAgeSeconds is
+	// the snapshot's wall-clock age. Both bound how stale the score is.
+	UpdatesBehind      int64   `json:"updates_behind"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+// PredictItem is one element of the POST /v1/predict/batch payload.
+// The batch is addressed to a single model, so items carry only the
+// vector (and an optional serial echoed back for correlation).
+type PredictItem struct {
+	Serial string          `json:"serial,omitempty"`
+	Norm   map[int]float64 `json:"norm,omitempty"`
+	Raw    map[int]float64 `json:"raw,omitempty"`
+	Values []float64       `json:"values,omitempty"`
+}
+
+// PredictBatchRequest is the POST /v1/predict/batch payload.
+type PredictBatchRequest struct {
+	Model string        `json:"model"`
+	Items []PredictItem `json:"items"`
+}
+
+// PredictBatchItem is one element of the POST /v1/predict/batch reply.
+type PredictBatchItem struct {
+	Serial string  `json:"serial,omitempty"`
+	Score  float64 `json:"score"`
+	Risky  bool    `json:"risky"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// PredictBatchResponse is the POST /v1/predict/batch reply. All items
+// are scored against the same snapshot, so staleness is reported once.
+type PredictBatchResponse struct {
+	Model              string             `json:"model"`
+	UpdatesBehind      int64              `json:"updates_behind"`
+	SnapshotAgeSeconds float64            `json:"snapshot_age_seconds"`
+	Results            []PredictBatchItem `json:"results"`
+}
+
+// resolveModel turns a predict request's model/serial addressing into a
+// model name, writing the HTTP error itself when it cannot.
+func (s *Server) resolveModel(w http.ResponseWriter, model, serial string) (string, bool) {
+	if model != "" {
+		return model, true
+	}
+	if serial == "" {
+		writeError(w, http.StatusBadRequest, "bad request: missing model or serial")
+		return "", false
+	}
+	model, ok := s.eng.ModelOf(serial)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown serial %q", serial))
+		return "", false
+	}
+	return model, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	model, ok := s.resolveModel(w, req.Model, req.Serial)
+	if !ok {
+		return
+	}
+	res, err := s.eng.Score(model, req.values())
+	switch {
+	case err == nil:
+	case err == ErrUnknownModel:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", model))
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	writeJSON(w, PredictResponse{
+		Model:              model,
+		Serial:             req.Serial,
+		Score:              res.Score,
+		Risky:              res.Risky,
+		UpdatesBehind:      res.UpdatesBehind,
+		SnapshotAgeSeconds: res.SnapshotAge.Seconds(),
+	})
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req PredictBatchRequest
+	if err := decodeBodyCapped(w, r, &req, s.batchMaxBytes); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, "bad request: missing model")
+		return
+	}
+	if len(req.Items) > s.batchMaxItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch carries %d items, limit %d",
+				len(req.Items), s.batchMaxItems))
+		return
+	}
+	X := make([][]float64, len(req.Items))
+	for i, it := range req.Items {
+		if it.Values != nil {
+			X[i] = it.Values
+		} else {
+			X[i] = PackValues(it.Norm, it.Raw)
+		}
+	}
+	results, err := s.eng.ScoreBatch(req.Model, X, nil)
+	if err != nil {
+		// ScoreBatch only fails as a whole for an unknown model; vector
+		// errors come back per item.
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	resp := PredictBatchResponse{
+		Model:   req.Model,
+		Results: make([]PredictBatchItem, len(results)),
+	}
+	if len(results) > 0 {
+		resp.UpdatesBehind = results[0].UpdatesBehind
+		resp.SnapshotAgeSeconds = results[0].SnapshotAge.Seconds()
+	}
+	for i, res := range results {
+		item := PredictBatchItem{Serial: req.Items[i].Serial}
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+		} else {
+			item.Score = res.Score
+			item.Risky = res.Risky
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,144 @@
+package orfdisk
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// predictTestServer stands up a server with a few observed disks so the
+// predict endpoints have snapshots and routing entries to hit.
+func predictTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := newTestServer(t)
+	for day := 0; day < 6; day++ {
+		postJSON(t, ts.URL+"/v1/observe", ObservationRequest{
+			Serial: "d1", Model: "ST4000", Day: day,
+			Norm: map[int]float64{187: 100}, Raw: map[int]float64{187: 0},
+		})
+	}
+	return ts
+}
+
+func TestServerPredict(t *testing.T) {
+	ts := predictTestServer(t)
+
+	// By model name: the lock-free path.
+	resp := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Model: "ST4000", Norm: map[int]float64{187: 95}, Raw: map[int]float64{187: 12},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var out PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "ST4000" || out.Score < 0 || out.Score > 1 {
+		t.Fatalf("response %+v", out)
+	}
+	if out.UpdatesBehind < 0 || out.SnapshotAgeSeconds < 0 {
+		t.Fatalf("staleness fields %+v", out)
+	}
+
+	// By serial: resolved through the routing memory, echoed back.
+	resp = postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Serial: "d1", Norm: map[int]float64{187: 95},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict-by-serial status %d", resp.StatusCode)
+	}
+	var bySerial PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&bySerial); err != nil {
+		t.Fatal(err)
+	}
+	if bySerial.Model != "ST4000" || bySerial.Serial != "d1" {
+		t.Fatalf("serial response %+v", bySerial)
+	}
+
+	for _, tc := range []struct {
+		name string
+		req  PredictRequest
+		code int
+	}{
+		{"unknown model", PredictRequest{Model: "NOPE"}, http.StatusNotFound},
+		{"unknown serial", PredictRequest{Serial: "ghost"}, http.StatusNotFound},
+		{"unaddressed", PredictRequest{}, http.StatusBadRequest},
+		{"short vector", PredictRequest{Model: "ST4000", Values: []float64{1, 2}}, http.StatusBadRequest},
+	} {
+		if resp := postJSON(t, ts.URL+"/v1/predict", tc.req); resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestServerPredictBatch(t *testing.T) {
+	ts := predictTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/predict/batch", PredictBatchRequest{
+		Model: "ST4000",
+		Items: []PredictItem{
+			{Serial: "d1", Norm: map[int]float64{187: 95}},
+			{Values: []float64{1, 2}}, // short: fails alone
+			{Raw: map[int]float64{187: 40}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out PredictBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "ST4000" || len(out.Results) != 3 {
+		t.Fatalf("response %+v", out)
+	}
+	if out.Results[0].Serial != "d1" || out.Results[0].Error != "" {
+		t.Fatalf("item 0 %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Fatal("short vector item did not fail")
+	}
+	if out.Results[2].Error != "" {
+		t.Fatalf("item 2 %+v", out.Results[2])
+	}
+
+	if resp := postJSON(t, ts.URL+"/v1/predict/batch",
+		PredictBatchRequest{Items: []PredictItem{{}}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing model: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/predict/batch",
+		PredictBatchRequest{Model: "NOPE"}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerPredictMetrics checks the read path shows up in /metrics.
+func TestServerPredictMetrics(t *testing.T) {
+	ts := predictTestServer(t)
+	postJSON(t, ts.URL+"/v1/predict", PredictRequest{Model: "ST4000"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"predict_requests_total",
+		"engine_frozen_publishes_total",
+		`frozen_snapshot_age_seconds{model="ST4000"}`,
+		`frozen_updates_behind{model="ST4000"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
