@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-smoke fmt
+.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-replicate bench-replicate-smoke bench-smoke fmt
 
-check: vet build test race bench-engine bench-predict-smoke
+check: vet build test race bench-engine bench-predict-smoke bench-replicate-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,7 @@ bench-engine:
 # a PR moves these numbers so the perf trajectory stays reviewable.
 INGEST_BENCH = BenchmarkPredictorIngest$$|BenchmarkPredictorIngestBatch|BenchmarkLabelerSteadyState|BenchmarkUpdateBatch|BenchmarkEngineIngestBatch
 
-bench: bench-ingest bench-predict
+bench: bench-ingest bench-predict bench-replicate
 
 bench-ingest:
 	$(GO) test . -run '^$$' -bench '$(INGEST_BENCH)' -benchmem -count=5 -benchtime=2s \
@@ -52,6 +52,21 @@ bench-predict:
 # grown forests): proves they compile and run, measures nothing.
 bench-predict-smoke:
 	$(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BENCH)' -benchtime=1x
+
+# Replication-path perf baseline: live-tail shipping throughput and the
+# cold-follower catch-up (restart / re-seed) path, recorded in
+# BENCH_replicate.json like the other baselines.
+REPLICATE_BENCH = BenchmarkReplicationShip|BenchmarkFollowerCatchup
+
+bench-replicate:
+	$(GO) test ./internal/replica -run '^$$' -bench '$(REPLICATE_BENCH)' -benchmem -count=5 -benchtime=1s \
+		| $(GO) run ./cmd/benchjson -o BENCH_replicate.json
+
+# One-iteration smoke of the replication benchmarks (-short shrinks the
+# catch-up backlog): proves the ship/catch-up paths run, measures
+# nothing.
+bench-replicate-smoke:
+	$(GO) test ./internal/replica -run '^$$' -short -bench '$(REPLICATE_BENCH)' -benchtime=1x
 
 # Smoke-run every benchmark in the repo (one iteration each): catches
 # benchmarks that no longer compile or crash, measures nothing.

@@ -1,0 +1,142 @@
+// Command orfrouter is the cluster routing tier: one client-facing HTTP
+// endpoint speaking the same API as a single orfserve node, in front of
+// N replication groups. Every request's drive model (or serial) is
+// consistent-hashed to a group; writes go to the group's leader, reads
+// fan out round-robin across its healthy, caught-up replicas, and a
+// health loop promotes a follower (POST /v1/promote) when a leader
+// stops answering /healthz.
+//
+// Topology comes from -nodes: groups separated by ';', nodes within a
+// group by ',', the first node being the group's leader, with an
+// optional "name=" prefix (groups default to g0, g1, ...):
+//
+//	orfrouter -addr :8000 \
+//	  -nodes 'a=http://10.0.0.1:8080,http://10.0.0.2:8080;b=http://10.0.1.1:8080,http://10.0.1.2:8080'
+//
+//	curl -s localhost:8000/v1/observe -d '{"serial":"Z3","model":"ST4000DM000",...}'
+//	curl -s localhost:8000/v1/cluster   # topology: leaders, health, readiness
+//	curl -s localhost:8000/metrics      # route_requests_total{node,outcome}, router_promotions_total
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"orfdisk/internal/cluster"
+)
+
+// parseNodes turns the -nodes syntax into group specs.
+func parseNodes(s string) ([]cluster.GroupSpec, error) {
+	if s == "" {
+		return nil, errors.New("-nodes is required")
+	}
+	var specs []cluster.GroupSpec
+	for i, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name := fmt.Sprintf("g%d", i)
+		if eq := strings.IndexByte(part, '='); eq >= 0 && !strings.Contains(part[:eq], "/") {
+			name = strings.TrimSpace(part[:eq])
+			part = part[eq+1:]
+		}
+		var nodes []string
+		for _, n := range strings.Split(part, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !strings.Contains(n, "://") {
+				n = "http://" + n
+			}
+			nodes = append(nodes, n)
+		}
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("group %q has no nodes", name)
+		}
+		specs = append(specs, cluster.GroupSpec{Name: name, Nodes: nodes})
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("-nodes declares no groups")
+	}
+	return specs, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8000", "listen address")
+		nodes      = flag.String("nodes", "", "cluster topology: 'name=url,url;name=url,...' — groups ';'-separated, nodes ','-separated, first node is the leader")
+		healthIval = flag.Duration("health-interval", time.Second, "node health probe cadence")
+		failAfter  = flag.Int("fail-after", 3, "consecutive failed leader probes before promoting a follower")
+		timeout    = flag.Duration("timeout", 5*time.Second, "upstream request timeout")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	)
+	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "orfrouter: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	specs, err := parseNodes(*nodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orfrouter: %v\n", err)
+		os.Exit(2)
+	}
+	rt, err := cluster.New(specs, cluster.Config{
+		HealthInterval: *healthIval,
+		FailAfter:      *failAfter,
+		Client:         &http.Client{Timeout: *timeout},
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orfrouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logger.Info("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			logger.Warn("shutdown", "err", err)
+		}
+	}()
+
+	groups := make([]string, len(specs))
+	for i, s := range specs {
+		groups[i] = fmt.Sprintf("%s(%d nodes)", s.Name, len(s.Nodes))
+	}
+	logger.Info("routing", "addr", *addr, "groups", strings.Join(groups, " "),
+		"health_interval", *healthIval, "fail_after", *failAfter)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+	rt.Close()
+	logger.Info("clean shutdown")
+}

@@ -62,6 +62,7 @@ import (
 
 	"orfdisk"
 	"orfdisk/internal/metrics"
+	"orfdisk/internal/replica"
 )
 
 func main() {
@@ -81,6 +82,9 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "separate admin listener for /metrics and pprof; empty serves /metrics on -addr")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -metrics-addr)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		replAddr    = flag.String("replicate-addr", "", "leader: listen here for follower replicas and ship the WAL (requires -data)")
+		follow      = flag.String("follow", "", "follower: replicate from the leader's -replicate-addr; this instance becomes a read replica (requires -data)")
+		readyMaxLag = flag.Uint64("ready-max-lag", 256, "follower: /readyz reports not-ready while replication lag exceeds this many records")
 	)
 	flag.Parse()
 
@@ -92,6 +96,14 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	if *pprofOn && *metricsAddr == "" {
 		logger.Error("-pprof requires -metrics-addr: refusing to expose profiling on the public listener")
+		os.Exit(2)
+	}
+	if (*replAddr != "" || *follow != "") && *dataDir == "" {
+		logger.Error("replication requires -data (the WAL is what gets shipped)")
+		os.Exit(2)
+	}
+	if *replAddr != "" && *follow != "" {
+		logger.Error("-replicate-addr and -follow are mutually exclusive (chained replication is not supported)")
 		os.Exit(2)
 	}
 
@@ -107,6 +119,8 @@ func main() {
 		Mailbox:        *mailbox,
 		FreezeEvery:    *freezeEvery,
 		FreezeInterval: *freezeIval,
+		Follower:       *follow != "",
+		ReadyMaxLag:    *readyMaxLag,
 		Metrics:        reg,
 		Logger:         logger,
 	})
@@ -116,6 +130,39 @@ func main() {
 	}
 	srv := orfdisk.NewServerWithEngine(eng)
 	srv.SetBatchLimits(*batchBytes, *batchItems)
+
+	var src *replica.Source
+	if *replAddr != "" {
+		src, err = replica.NewSource(*replAddr, replica.SourceConfig{
+			WAL:     eng.WAL(),
+			Metrics: reg,
+			Logger:  logger,
+		})
+		if err != nil {
+			logger.Error("replication listener failed", "addr", *replAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("shipping WAL to followers", "addr", src.Addr())
+	}
+	if *follow != "" {
+		fl, err := replica.StartFollower(*follow, replica.FollowerConfig{
+			Applier: eng,
+			Metrics: reg,
+			Logger:  logger,
+		})
+		if err != nil {
+			logger.Error("starting replication client failed", "leader", *follow, "err", err)
+			os.Exit(1)
+		}
+		// Promotion (POST /v1/promote) ends the old life first: stop
+		// pulling from the dead leader before the engine takes writes.
+		eng.OnPromote(func() {
+			logger.Info("promotion: stopping replication client", "leader", *follow)
+			fl.Close()
+		})
+		defer fl.Close()
+		logger.Info("following leader", "leader", *follow, "ready_max_lag", *readyMaxLag)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,6 +226,11 @@ func main() {
 		os.Exit(1)
 	}
 	<-shutdownDone
+	// Stop shipping before closing the engine: the source tails the
+	// engine's WAL.
+	if src != nil {
+		src.Close()
+	}
 	// Drain shard mailboxes, take the final snapshot, close the WAL.
 	if err := srv.Close(); err != nil {
 		logger.Error("close failed", "err", err)

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orfdisk/internal/engine"
@@ -66,6 +67,18 @@ type Engine struct {
 	snapMu  sync.Mutex
 	snapped map[string]uint64 // last snapshotted WAL seq per model
 
+	// Replication state (see replicate.go). follower gates writes;
+	// replApplied is the last leader sequence number durably applied;
+	// leaderHead/leaderSent mirror the newest leader frame for lag
+	// accounting. readyMaxLag bounds the catch-up lag /readyz accepts.
+	follower    atomic.Bool
+	replApplied atomic.Uint64
+	leaderHead  atomic.Uint64
+	leaderSent  atomic.Int64
+	readyMaxLag uint64
+	promoteMu   sync.Mutex
+	onPromote   []func()
+
 	stop      chan struct{}
 	tickDone  chan struct{}
 	closeOnce sync.Once
@@ -107,6 +120,15 @@ type EngineConfig struct {
 	SegmentBytes int64
 	SyncEvery    int
 	SyncInterval time.Duration
+	// Follower starts the engine as a read replica: writes fail with
+	// ErrNotLeader, and the engine implements replica.Applier so a
+	// replication client can feed it leader records (see replicate.go).
+	// Requires DataDir (acks promise durability). Promote flips the
+	// engine to a leader at runtime.
+	Follower bool
+	// ReadyMaxLag is the replication lag (in records) beyond which a
+	// follower reports not-ready (default 256). Leaders ignore it.
+	ReadyMaxLag uint64
 	// Metrics receives the engine's instrumentation (engine_*, wal_*
 	// and per-model families; the HTTP layer adds http_* when serving).
 	// Nil creates a private registry, reachable via MetricsRegistry.
@@ -185,6 +207,9 @@ func (noopLogHandler) WithGroup(string) slog.Handler             { return noopLo
 // NewEngine creates an engine, running crash recovery first when
 // cfg.DataDir is set.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Follower && cfg.DataDir == "" {
+		return nil, fmt.Errorf("orfdisk: follower mode requires a DataDir (acks promise durability)")
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -210,6 +235,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if e.freezeInterval == 0 {
 		e.freezeInterval = time.Second
 	}
+	e.follower.Store(cfg.Follower)
+	e.readyMaxLag = cfg.ReadyMaxLag
+	if e.readyMaxLag == 0 {
+		e.readyMaxLag = 256
+	}
 	e.pool = engine.New(engine.Config{
 		Mailbox:        cfg.Mailbox,
 		EnqueueTimeout: cfg.EnqueueTimeout,
@@ -217,6 +247,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}, e.newShard)
 	e.registerModelGauges()
 	e.registerFrozenGauges()
+	e.registerReplicaGauges()
 	if cfg.DataDir != "" {
 		if err := e.recover(); err != nil {
 			e.pool.Close()
@@ -232,6 +263,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			e.wal.Close()
 			return nil, err
 		}
+		// A follower resumes replication right after its own recovery
+		// point: snapshots and the WAL all carry leader sequence
+		// numbers, so NextSeq-1 IS the last durably applied leader
+		// record.
+		e.replApplied.Store(e.wal.NextSeq() - 1)
 		if cfg.SnapshotEvery > 0 {
 			e.stop = make(chan struct{})
 			e.tickDone = make(chan struct{})
@@ -461,6 +497,9 @@ func (e *Engine) applyBatch(s *shardState, batch []FleetObservation, idxs []int,
 // live prediction. It blocks until the shard has processed the
 // observation; under overload it fails fast with ErrBusy.
 func (e *Engine) Ingest(obs FleetObservation) (Prediction, error) {
+	if e.follower.Load() {
+		return Prediction{}, ErrNotLeader
+	}
 	if err := e.validate(obs); err != nil {
 		return Prediction{}, err
 	}
@@ -516,6 +555,12 @@ func (e *Engine) getScratch() *batchScratch {
 // succeeds or fails independently.
 func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
 	res := make([]BatchResult, len(batch))
+	if e.follower.Load() {
+		for i := range res {
+			res[i].Err = ErrNotLeader
+		}
+		return res
+	}
 	sc := e.getScratch()
 	// sc.pending carries first-seen routes from earlier entries of this
 	// batch so a later entry can omit the model, without committing
@@ -565,6 +610,9 @@ func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
 // Retire drops a disk (planned decommission) from its model's shard.
 // Unknown serials are a no-op.
 func (e *Engine) Retire(serial string) error {
+	if e.follower.Load() {
+		return ErrNotLeader
+	}
 	e.mu.RLock()
 	model, ok := e.modelOf[serial]
 	e.mu.RUnlock()

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	r1, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"c", "a", "b"}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("MODEL-%04d", i)
+		m := r1.Member(key)
+		if m2 := r2.Member(key); m2 != m {
+			t.Fatalf("placement depends on member order: %q -> %q vs %q", key, m, m2)
+		}
+		counts[m]++
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		// Perfect balance is 1000; vnodes keep real imbalance mild. The
+		// wide bound only guards against a broken hash collapsing the
+		// ring onto one or two members.
+		if counts[m] < 500 || counts[m] > 1700 {
+			t.Fatalf("member %q owns %d of 3000 keys — ring is badly imbalanced: %v", m, counts[m], counts)
+		}
+	}
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring must fail")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate members must fail")
+	}
+}
+
+// fakeNode is an httptest engine node capturing what it was asked.
+type fakeNode struct {
+	mu       sync.Mutex
+	observes []string // serials received at /v1/observe
+	predicts int
+	retires  []string
+	promoted atomic.Bool
+	healthy  atomic.Bool
+	ready    atomic.Bool
+	srv      *httptest.Server
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.healthy.Store(true)
+	n.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() || !n.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Serial string `json:"serial"`
+		}
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		n.mu.Lock()
+		n.observes = append(n.observes, req.Serial)
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"serial": req.Serial, "score": 0.5}) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/observe/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Observations []struct {
+				Serial string `json:"serial"`
+			} `json:"observations"`
+		}
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		out := make([]map[string]any, len(req.Observations))
+		n.mu.Lock()
+		for i, o := range req.Observations {
+			n.observes = append(n.observes, o.Serial)
+			out[i] = map[string]any{"serial": o.Serial, "node": n.srv.URL}
+		}
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(out) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.predicts++
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"score": 0.1}) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/retire", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Serial string `json:"serial"`
+		}
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		n.mu.Lock()
+		n.retires = append(n.retires, req.Serial)
+		n.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]map[string]any{{"model": n.srv.URL}}) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		n.promoted.Store(true)
+		json.NewEncoder(w).Encode(map[string]string{"role": "leader"}) //nolint:errcheck
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeNode) observed() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.observes...)
+}
+
+func newTestRouter(t *testing.T, specs []GroupSpec, cfg Config) *Router {
+	t.Helper()
+	rt, err := New(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestRouterRoutesWritesByModel(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "a", Nodes: []string{a.srv.URL}},
+		{Name: "b", Nodes: []string{b.srv.URL}},
+	}, Config{HealthInterval: time.Hour}) // no probes: test the data path
+	h := rt.Handler()
+
+	// All writes for one model land on one group, regardless of serial.
+	for i := 0; i < 8; i++ {
+		w := post(t, h, "/v1/observe",
+			fmt.Sprintf(`{"serial":"S%d","model":"ST4000DM000"}`, i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("observe %d: status %d: %s", i, w.Code, w.Body)
+		}
+	}
+	na, nb := len(a.observed()), len(b.observed())
+	if na+nb != 8 || (na != 0 && nb != 0) {
+		t.Fatalf("one model split across groups: a=%d b=%d", na, nb)
+	}
+	// A request that cannot be routed is rejected at the router.
+	if w := post(t, h, "/v1/observe", `{"day":3}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unroutable observe: status %d", w.Code)
+	}
+}
+
+func TestRouterBatchSplitAndOrderPreservingMerge(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "a", Nodes: []string{a.srv.URL}},
+		{Name: "b", Nodes: []string{b.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+
+	// Find two models that hash to different groups.
+	var m1, m2 string
+	for i := 0; i < 100 && m2 == ""; i++ {
+		m := fmt.Sprintf("MODEL-%d", i)
+		switch rt.ring.Member(m) {
+		case "a":
+			if m1 == "" {
+				m1 = m
+			}
+		case "b":
+			m2 = m
+		}
+	}
+	if m1 == "" || m2 == "" {
+		t.Fatal("could not find models on distinct groups")
+	}
+	var items []string
+	for i := 0; i < 10; i++ {
+		m := m1
+		if i%2 == 1 {
+			m = m2
+		}
+		items = append(items, fmt.Sprintf(`{"serial":"S%02d","model":%q}`, i, m))
+	}
+	w := post(t, rt.Handler(), "/v1/observe/batch",
+		`{"observations":[`+strings.Join(items, ",")+`]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", w.Code, w.Body)
+	}
+	var out []struct {
+		Serial string `json:"serial"`
+		Node   string `json:"node"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("merged %d results, want 10", len(out))
+	}
+	for i, o := range out {
+		if o.Serial != fmt.Sprintf("S%02d", i) {
+			t.Fatalf("result %d is %q — merge lost input order: %s", i, o.Serial, w.Body)
+		}
+		want := a.srv.URL
+		if i%2 == 1 {
+			want = b.srv.URL
+		}
+		if o.Node != want {
+			t.Fatalf("item %d served by %s, want %s", i, o.Node, want)
+		}
+	}
+}
+
+func TestRouterReadsFanAcrossReplicas(t *testing.T) {
+	leader, follower := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{leader.srv.URL, follower.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+	h := rt.Handler()
+	for i := 0; i < 10; i++ {
+		w := post(t, h, "/v1/predict", `{"model":"M"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("predict: status %d: %s", w.Code, w.Body)
+		}
+	}
+	leader.mu.Lock()
+	lp := leader.predicts
+	leader.mu.Unlock()
+	follower.mu.Lock()
+	fp := follower.predicts
+	follower.mu.Unlock()
+	if lp == 0 || fp == 0 || lp+fp != 10 {
+		t.Fatalf("reads not fanned: leader=%d follower=%d", lp, fp)
+	}
+	// A not-ready follower drops out of the read rotation.
+	follower.ready.Store(false)
+	rt.probeAll()
+	leader.mu.Lock()
+	leader.predicts = 0
+	leader.mu.Unlock()
+	follower.mu.Lock()
+	follower.predicts = 0
+	follower.mu.Unlock()
+	for i := 0; i < 6; i++ {
+		post(t, h, "/v1/predict", `{"model":"M"}`)
+	}
+	follower.mu.Lock()
+	fp = follower.predicts
+	follower.mu.Unlock()
+	if fp != 0 {
+		t.Fatalf("not-ready follower still served %d reads", fp)
+	}
+}
+
+func TestRouterRetireBroadcasts(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "a", Nodes: []string{a.srv.URL}},
+		{Name: "b", Nodes: []string{b.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+	w := post(t, rt.Handler(), "/v1/retire", `{"serial":"GONE"}`)
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("retire: status %d: %s", w.Code, w.Body)
+	}
+	for _, n := range []*fakeNode{a, b} {
+		n.mu.Lock()
+		got := append([]string(nil), n.retires...)
+		n.mu.Unlock()
+		if len(got) != 1 || got[0] != "GONE" {
+			t.Fatalf("retire not broadcast: %v", got)
+		}
+	}
+}
+
+func TestRouterPromotesOnLeaderDeath(t *testing.T) {
+	leader, follower := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{leader.srv.URL, follower.srv.URL}},
+	}, Config{HealthInterval: time.Hour, FailAfter: 2})
+	h := rt.Handler()
+
+	// Healthy leader: writes go to it.
+	post(t, h, "/v1/observe", `{"serial":"S1","model":"M"}`)
+	if got := leader.observed(); len(got) != 1 {
+		t.Fatalf("leader saw %v", got)
+	}
+
+	// Kill the leader; drive probes manually (the loop interval is huge).
+	leader.healthy.Store(false)
+	rt.probeAll() // fail 1
+	if follower.promoted.Load() {
+		t.Fatal("promoted before FailAfter")
+	}
+	rt.probeAll() // fail 2 -> promote
+	if !follower.promoted.Load() {
+		t.Fatal("follower was not promoted")
+	}
+	if rt.promotions.Value() != 1 {
+		t.Fatalf("router_promotions_total = %d", rt.promotions.Value())
+	}
+
+	// Writes now land on the new leader.
+	w := post(t, h, "/v1/observe", `{"serial":"S2","model":"M"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-failover observe: status %d: %s", w.Code, w.Body)
+	}
+	if got := follower.observed(); len(got) != 1 || got[0] != "S2" {
+		t.Fatalf("new leader saw %v, want [S2]", got)
+	}
+	// Repeated probes of the same dead node do not promote again.
+	rt.probeAll()
+	rt.probeAll()
+	if rt.promotions.Value() != 1 {
+		t.Fatalf("promotions repeated: %d", rt.promotions.Value())
+	}
+}
+
+func TestRouterStatsFanMerge(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "a", Nodes: []string{a.srv.URL}},
+		{Name: "b", Nodes: []string{b.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", w.Code, w.Body)
+	}
+	var out []map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("stats merged %d entries, want 2: %s", len(out), w.Body)
+	}
+}
+
+func TestRouterClusterTopology(t *testing.T) {
+	leader, follower := newFakeNode(t), newFakeNode(t)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{leader.srv.URL, follower.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+	req := httptest.NewRequest(http.MethodGet, "/v1/cluster", nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	var topo []ClusterGroup
+	if err := json.Unmarshal(w.Body.Bytes(), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo) != 1 || len(topo[0].Nodes) != 2 {
+		t.Fatalf("topology: %s", w.Body)
+	}
+	if !topo[0].Nodes[0].Leader || topo[0].Nodes[1].Leader {
+		t.Fatalf("leader flag wrong: %s", w.Body)
+	}
+}

@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orfdisk/internal/wal"
+)
+
+// countApplier is the cheapest possible Applier: it counts what arrives
+// so the benchmarks measure the wire path (cursor read, framing, CRC,
+// TCP, decode) rather than any application cost.
+type countApplier struct {
+	applied atomic.Uint64
+}
+
+func (c *countApplier) ApplyReplicated(recs []Record) error {
+	c.applied.Store(recs[len(recs)-1].Seq)
+	return nil
+}
+func (c *countApplier) ReplicationResume() uint64           { return c.applied.Load() }
+func (c *countApplier) ObserveLeaderHead(uint64, time.Time) {}
+
+func benchWAL(b *testing.B, dir string) *wal.WAL {
+	b.Helper()
+	// Large sync thresholds: the benchmarks measure shipping, not the
+	// leader's fsync policy.
+	w, err := wal.Open(wal.Options{Dir: dir, SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { w.Close() })
+	return w
+}
+
+// BenchmarkReplicationShip measures steady-state live-tail throughput:
+// records appended on the leader, streamed over TCP, and delivered to a
+// connected follower. bytes/op is the record payload, so the reported
+// MB/s is the replicated-payload rate.
+func BenchmarkReplicationShip(b *testing.B) {
+	w := benchWAL(b, b.TempDir())
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	ca := &countApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: ca})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := w.NextSeq() - 1
+	for ca.applied.Load() < last {
+		if err := fl.Err(); err != nil {
+			b.Fatal(err)
+		}
+		runtime.Gosched()
+	}
+}
+
+// BenchmarkFollowerCatchup measures a cold follower draining a
+// pre-filled leader WAL from offset zero: the re-seed / restart path.
+// Under -short the backlog shrinks so the CI smoke stays fast.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	backlog := 5000
+	if testing.Short() {
+		backlog = 1000
+	}
+	w := benchWAL(b, b.TempDir())
+	payload := make([]byte, 256)
+	for i := 0; i < backlog; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := w.NextSeq() - 1
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+
+	b.SetBytes(int64(backlog * len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca := &countApplier{}
+		fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: ca})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ca.applied.Load() < last {
+			if err := fl.Err(); err != nil {
+				fl.Close()
+				b.Fatal(err)
+			}
+			runtime.Gosched()
+		}
+		fl.Close()
+	}
+	b.ReportMetric(float64(backlog), "records/op")
+}

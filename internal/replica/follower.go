@@ -1,0 +1,254 @@
+package replica
+
+import (
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orfdisk/internal/metrics"
+)
+
+// Applier is the follower-side sink for the replication stream —
+// implemented by the engine's follower mode.
+type Applier interface {
+	// ApplyReplicated durably applies a batch of leader records in
+	// order. When it returns, the records must survive a follower crash
+	// (they are acknowledged to the leader, which may then truncate).
+	ApplyReplicated(recs []Record) error
+	// ReplicationResume returns the last durably applied leader
+	// sequence number (0 before any) — the handshake resume position
+	// and the ack value.
+	ReplicationResume() uint64
+	// ObserveLeaderHead records the leader's newest committed sequence
+	// number and the leader-side send time of the frame carrying it,
+	// for lag accounting. Called for every frame, heartbeats included.
+	ObserveLeaderHead(head uint64, sentAt time.Time)
+}
+
+// FollowerConfig configures a replication client. Zero values select
+// defaults.
+type FollowerConfig struct {
+	// Applier consumes the stream. Required.
+	Applier Applier
+	// DialTimeout bounds one connection attempt (default 5 s).
+	DialTimeout time.Duration
+	// RetryInterval is the pause between reconnect attempts
+	// (default 500 ms).
+	RetryInterval time.Duration
+	// Metrics receives the replica_connection_* families. Nil registers
+	// into a private registry.
+	Metrics *metrics.Registry
+	// Logger receives structured events. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *FollowerConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+}
+
+// Follower streams WAL records from a leader Source into an Applier,
+// acknowledging applied positions and reconnecting (from the last
+// durable position) after any failure.
+type Follower struct {
+	addr string
+	cfg  FollowerConfig
+
+	reconnects *metrics.Counter
+	connected  atomic.Bool
+	fatal      atomic.Pointer[error]
+
+	mu   sync.Mutex
+	conn net.Conn
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartFollower connects to the leader source at addr and begins
+// streaming in a background goroutine. It returns immediately; use
+// Connected/Err to observe progress and Close to stop.
+func StartFollower(addr string, cfg FollowerConfig) (*Follower, error) {
+	if cfg.Applier == nil {
+		return nil, errors.New("replica: FollowerConfig.Applier is required")
+	}
+	cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	f := &Follower{
+		addr: addr,
+		cfg:  cfg,
+		reconnects: reg.Counter("replica_connection_attempts_total",
+			"Connections (initial and reconnect) the follower has made to its leader."),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	reg.GaugeFunc("replica_connected", "1 while the follower holds a live replication stream.", func() float64 {
+		if f.connected.Load() {
+			return 1
+		}
+		return 0
+	})
+	go f.loop()
+	return f, nil
+}
+
+// Connected reports whether a replication stream is currently live.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Err returns the fatal error that permanently stopped the follower
+// (e.g. ErrResumeTooOld), or nil while it is running/retrying.
+func (f *Follower) Err() error {
+	if p := f.fatal.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close stops the stream and waits for the background goroutine.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	select {
+	case <-f.stop:
+		f.mu.Unlock()
+		<-f.done
+		return nil
+	default:
+	}
+	close(f.stop)
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+	return nil
+}
+
+func (f *Follower) stopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Follower) loop() {
+	defer close(f.done)
+	for !f.stopped() {
+		f.reconnects.Inc()
+		err := f.run()
+		f.connected.Store(false)
+		if f.stopped() {
+			return
+		}
+		if errors.Is(err, ErrResumeTooOld) {
+			e := err
+			f.fatal.Store(&e)
+			f.cfg.Logger.Error("replication permanently stopped", "err", err)
+			return
+		}
+		if err != nil {
+			f.cfg.Logger.Warn("replication stream lost; retrying", "leader", f.addr, "err", err)
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.cfg.RetryInterval):
+		}
+	}
+}
+
+func (f *Follower) run() error {
+	conn, err := net.DialTimeout("tcp", f.addr, f.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.stopped() {
+		f.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		conn.Close()
+	}()
+
+	resume := f.cfg.Applier.ReplicationResume()
+	if err := writeHandshake(conn, resume); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	oldest, head, err := readHandshakeReply(conn)
+	if err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if resume+1 < oldest {
+		return ErrResumeTooOld
+	}
+	f.connected.Store(true)
+	f.cfg.Logger.Info("replication stream established",
+		"leader", f.addr, "resume_after", resume, "leader_head", head)
+
+	var (
+		buf     []byte
+		scratch []Record
+		ackBuf  []byte
+	)
+	ack := func() error {
+		ackBuf = appendAckPayload(ackBuf[:0], f.cfg.Applier.ReplicationResume())
+		conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		return writeFrame(conn, frameAck, ackBuf)
+	}
+	for {
+		typ, payload, nbuf, err := readFrame(conn, buf)
+		if err != nil {
+			return err
+		}
+		buf = nbuf
+		switch typ {
+		case frameRecords:
+			head, sentAt, recs, err := decodeRecordsPayload(payload, scratch)
+			if err != nil {
+				return err
+			}
+			scratch = recs[:0]
+			if err := f.cfg.Applier.ApplyReplicated(recs); err != nil {
+				return err
+			}
+			f.cfg.Applier.ObserveLeaderHead(head, sentAt)
+			if err := ack(); err != nil {
+				return err
+			}
+		case frameHeartbeat:
+			head, sentAt, _, err := takeStatus(payload)
+			if err != nil {
+				return err
+			}
+			f.cfg.Applier.ObserveLeaderHead(head, sentAt)
+			if err := ack(); err != nil {
+				return err
+			}
+		default:
+			f.cfg.Logger.Warn("unexpected frame from leader", "type", typ)
+			return errors.New("replica: unexpected frame type")
+		}
+	}
+}

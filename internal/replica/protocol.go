@@ -1,0 +1,224 @@
+// Package replica implements WAL-shipping replication: a leader-side
+// Source that tails the write-ahead log and streams committed records
+// to follower replicas over a length-prefixed TCP protocol, and a
+// follower-side client that applies the stream through an Applier and
+// acknowledges its durable position.
+//
+// Wire protocol (all integers little endian):
+//
+//	handshake  (follower→leader):  "ORFR" | u16 version | u64 resumeAfter
+//	handshake  (leader→follower):  "ORFA" | u16 version | u64 oldestSegment | u64 head
+//	frame      (either direction): u8 type | u32 len | u32 CRC-32(payload) | payload
+//
+// Frame payloads:
+//
+//	records   (1, leader→follower): u64 head | i64 sentUnixNano |
+//	                                uvarint n | n × (uvarint seq, uvarint len, bytes)
+//	heartbeat (2, leader→follower): u64 head | i64 sentUnixNano
+//	ack       (3, follower→leader): u64 lastApplied
+//
+// head is the leader's newest committed sequence number at send time;
+// together with the follower's applied position it defines replication
+// lag. resumeAfter is the follower's last durably applied sequence
+// number: the leader resumes the stream at the next record after it.
+// Every frame is CRC-verified; damage tears the connection down and the
+// follower reconnects from its acknowledged position, so corruption
+// costs a retry, never silent divergence.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+const (
+	magicHello = "ORFR"
+	magicReply = "ORFA"
+	version    = 1
+
+	frameRecords   = 1
+	frameHeartbeat = 2
+	frameAck       = 3
+
+	// maxFramePayload caps one frame (sanity bound; a records frame is
+	// sized by the Source's batch limits, far below this).
+	maxFramePayload = 64 << 20
+
+	frameHeaderSize = 1 + 4 + 4
+)
+
+// Record is one replicated WAL record: the leader's sequence number and
+// the opaque payload exactly as the leader logged it.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ErrResumeTooOld reports that the leader has truncated past the
+// follower's resume position: the follower can no longer rebuild full
+// state from the stream and must be re-seeded (fresh data dir, or a
+// copied snapshot set).
+var ErrResumeTooOld = errors.New("replica: leader truncated past resume position; follower must be re-seeded")
+
+func writeHandshake(w io.Writer, resumeAfter uint64) error {
+	var buf [4 + 2 + 8]byte
+	copy(buf[:4], magicHello)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint64(buf[6:14], resumeAfter)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (resumeAfter uint64, err error) {
+	var buf [4 + 2 + 8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	if string(buf[:4]) != magicHello {
+		return 0, fmt.Errorf("replica: bad handshake magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != version {
+		return 0, fmt.Errorf("replica: protocol version %d, want %d", v, version)
+	}
+	return binary.LittleEndian.Uint64(buf[6:14]), nil
+}
+
+func writeHandshakeReply(w io.Writer, oldestSegment, head uint64) error {
+	var buf [4 + 2 + 8 + 8]byte
+	copy(buf[:4], magicReply)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint64(buf[6:14], oldestSegment)
+	binary.LittleEndian.PutUint64(buf[14:22], head)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshakeReply(r io.Reader) (oldestSegment, head uint64, err error) {
+	var buf [4 + 2 + 8 + 8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	if string(buf[:4]) != magicReply {
+		return 0, 0, fmt.Errorf("replica: bad handshake reply magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != version {
+		return 0, 0, fmt.Errorf("replica: protocol version %d, want %d", v, version)
+	}
+	return binary.LittleEndian.Uint64(buf[6:14]), binary.LittleEndian.Uint64(buf[14:22]), nil
+}
+
+// writeFrame frames one payload: type, length, CRC, body.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var head [frameHeaderSize]byte
+	head[0] = typ
+	binary.LittleEndian.PutUint32(head[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, verifying its CRC, reusing buf when large
+// enough. The returned payload aliases the (possibly grown) buffer.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var head [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(head[1:5])
+	crc := binary.LittleEndian.Uint32(head[5:9])
+	if n > maxFramePayload {
+		return 0, nil, buf, fmt.Errorf("replica: frame of %d bytes exceeds cap", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, buf, errors.New("replica: frame CRC mismatch")
+	}
+	return head[0], payload, buf, nil
+}
+
+// appendStatus writes the head/sentAt prefix shared by records and
+// heartbeat payloads.
+func appendStatus(buf []byte, head uint64, sentAt time.Time) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, head)
+	return binary.LittleEndian.AppendUint64(buf, uint64(sentAt.UnixNano()))
+}
+
+func takeStatus(p []byte) (head uint64, sentAt time.Time, rest []byte, err error) {
+	if len(p) < 16 {
+		return 0, time.Time{}, nil, errors.New("replica: truncated status prefix")
+	}
+	head = binary.LittleEndian.Uint64(p[:8])
+	sentAt = time.Unix(0, int64(binary.LittleEndian.Uint64(p[8:16])))
+	return head, sentAt, p[16:], nil
+}
+
+// appendRecordsPayload builds a records-frame payload.
+func appendRecordsPayload(buf []byte, head uint64, sentAt time.Time, recs []Record) []byte {
+	buf = appendStatus(buf, head, sentAt)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.AppendUvarint(buf, r.Seq)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+		buf = append(buf, r.Payload...)
+	}
+	return buf
+}
+
+// decodeRecordsPayload parses a records-frame payload. The returned
+// records alias p; callers consume them before reusing the read buffer.
+func decodeRecordsPayload(p []byte, scratch []Record) (head uint64, sentAt time.Time, recs []Record, err error) {
+	head, sentAt, p, err = takeStatus(p)
+	if err != nil {
+		return 0, time.Time{}, nil, err
+	}
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, time.Time{}, nil, errors.New("replica: truncated record count")
+	}
+	p = p[sz:]
+	if n > uint64(len(p)) { // every record needs at least one byte
+		return 0, time.Time{}, nil, fmt.Errorf("replica: %d records in %d bytes", n, len(p))
+	}
+	recs = scratch[:0]
+	for i := uint64(0); i < n; i++ {
+		seq, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return 0, time.Time{}, nil, errors.New("replica: truncated record seq")
+		}
+		p = p[sz:]
+		ln, sz := binary.Uvarint(p)
+		if sz <= 0 || ln > uint64(len(p)-sz) {
+			return 0, time.Time{}, nil, errors.New("replica: truncated record body")
+		}
+		recs = append(recs, Record{Seq: seq, Payload: p[sz : sz+int(ln)]})
+		p = p[sz+int(ln):]
+	}
+	if len(p) != 0 {
+		return 0, time.Time{}, nil, fmt.Errorf("replica: %d trailing bytes in records frame", len(p))
+	}
+	return head, sentAt, recs, nil
+}
+
+func appendAckPayload(buf []byte, lastApplied uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, lastApplied)
+}
+
+func decodeAckPayload(p []byte) (lastApplied uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("replica: ack payload of %d bytes", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}

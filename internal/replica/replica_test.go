@@ -1,0 +1,357 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"orfdisk/internal/wal"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 7, Payload: []byte("alpha")},
+		{Seq: 9, Payload: nil},
+		{Seq: 100000, Payload: bytes.Repeat([]byte{0xAB}, 5000)},
+	}
+	sent := time.Unix(0, 1723200000000000000)
+	payload := appendRecordsPayload(nil, 123456, sent, recs)
+
+	var wire bytes.Buffer
+	if err := writeFrame(&wire, frameRecords, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, _, err := readFrame(&wire, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameRecords {
+		t.Fatalf("type = %d", typ)
+	}
+	head, sentAt, out, err := decodeRecordsPayload(got, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != 123456 || !sentAt.Equal(sent) {
+		t.Fatalf("head=%d sentAt=%v", head, sentAt)
+	}
+	if len(out) != len(recs) {
+		t.Fatalf("%d records, want %d", len(out), len(recs))
+	}
+	for i := range recs {
+		if out[i].Seq != recs[i].Seq || !bytes.Equal(out[i].Payload, recs[i].Payload) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	var wire bytes.Buffer
+	if err := writeFrame(&wire, frameHeartbeat, appendStatus(nil, 42, time.Unix(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	b := wire.Bytes()
+	b[len(b)-1] ^= 0xFF // flip a payload byte
+	if _, _, _, err := readFrame(bytes.NewReader(b), nil); err == nil {
+		t.Fatal("corrupt frame passed CRC")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	if err := writeHandshake(&wire, 77); err != nil {
+		t.Fatal(err)
+	}
+	resume, err := readHandshake(&wire)
+	if err != nil || resume != 77 {
+		t.Fatalf("resume=%d err=%v", resume, err)
+	}
+	wire.Reset()
+	if err := writeHandshakeReply(&wire, 3, 99); err != nil {
+		t.Fatal(err)
+	}
+	oldest, head, err := readHandshakeReply(&wire)
+	if err != nil || oldest != 3 || head != 99 {
+		t.Fatalf("oldest=%d head=%d err=%v", oldest, head, err)
+	}
+}
+
+// memApplier is an in-memory Applier capturing the stream.
+type memApplier struct {
+	mu      sync.Mutex
+	recs    []Record
+	applied uint64
+	head    uint64
+	sentAt  time.Time
+	failN   int // fail the next N ApplyReplicated calls
+}
+
+func (m *memApplier) ApplyReplicated(recs []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failN > 0 {
+		m.failN--
+		return errors.New("injected apply failure")
+	}
+	for _, r := range recs {
+		if r.Seq <= m.applied {
+			continue
+		}
+		m.recs = append(m.recs, Record{Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)})
+		m.applied = r.Seq
+	}
+	return nil
+}
+
+func (m *memApplier) ReplicationResume() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+func (m *memApplier) ObserveLeaderHead(head uint64, sentAt time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.head, m.sentAt = head, sentAt
+}
+
+func (m *memApplier) snapshot() (int, uint64, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs), m.applied, m.head
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func openShipWAL(t *testing.T, dir string) *wal.WAL {
+	t.Helper()
+	w, err := wal.Open(wal.Options{Dir: dir, SegmentBytes: 4096, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func TestSourceStreamsAndResumes(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 100; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("r%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	app := &memApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial catch-up", func() bool {
+		n, applied, _ := app.snapshot()
+		return n == 100 && applied == 100
+	})
+	// Live tail: new appends flow through (and cross segment rotations).
+	for i := 100; i < 300; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("r%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "live tail", func() bool {
+		n, _, _ := app.snapshot()
+		return n == 300
+	})
+	// Heartbeats advance the observed leader head even when idle.
+	waitFor(t, 5*time.Second, "heartbeat head", func() bool {
+		_, _, head := app.snapshot()
+		return head == 300
+	})
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the follower from its acknowledged position: no record is
+	// re-applied (memApplier would grow past 300 on duplicates only if
+	// seqs regressed — assert count stays exact after more appends).
+	for i := 300; i < 320; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("r%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl2, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	waitFor(t, 5*time.Second, "resume catch-up", func() bool {
+		n, applied, _ := app.snapshot()
+		return n == 320 && applied == 320
+	})
+	// Verify strict ordering of everything received.
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	for i, r := range app.recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestFollowerReconnectsAfterSourceRestart(t *testing.T) {
+	dir := t.TempDir()
+	w := openShipWAL(t, dir)
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := src.Addr()
+	app := &memApplier{}
+	fl, err := StartFollower(addr, FollowerConfig{Applier: app, RetryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "catch-up", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 50
+	})
+	src.Close()
+	waitFor(t, 5*time.Second, "disconnect", func() bool { return !fl.Connected() })
+	for i := 0; i < 25; i++ {
+		if _, err := w.Append([]byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same address: the follower's retry loop picks the stream back up.
+	src2, err := NewSource(addr, SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	waitFor(t, 5*time.Second, "reconnect catch-up", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 75
+	})
+}
+
+func TestAcksFeedRetainFloor(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 200; i++ {
+		if _, err := w.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	app := &memApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "catch-up", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 200
+	})
+	waitFor(t, 5*time.Second, "floor advance", func() bool {
+		src.mu.Lock()
+		defer src.mu.Unlock()
+		return src.floor == 201
+	})
+	// With the follower fully caught up, truncation may proceed.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(201); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeTooOldIsFatal(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 200; i++ {
+		if _, err := w.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate early history away with no follower attached.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(150); err != nil {
+		t.Fatal(err)
+	}
+	oldest, err := w.OldestSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest <= 1 {
+		t.Skip("truncation kept the first segment (tiny log); nothing to test")
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	app := &memApplier{} // resume position 0: long gone
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "fatal stop", func() bool {
+		return errors.Is(fl.Err(), ErrResumeTooOld)
+	})
+}
+
+func TestApplyFailureTearsStreamAndRetries(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 30; i++ {
+		if _, err := w.Append([]byte("z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	app := &memApplier{failN: 2}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// Despite two injected apply failures the stream converges: each
+	// failure drops the connection, and the retry resumes from the last
+	// durable position.
+	waitFor(t, 5*time.Second, "convergence after failures", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 30
+	})
+}

@@ -1,0 +1,349 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"orfdisk/internal/metrics"
+	"orfdisk/internal/wal"
+)
+
+// SourceConfig configures a leader-side replication source. Zero values
+// select defaults.
+type SourceConfig struct {
+	// WAL is the log to ship. Required.
+	WAL *wal.WAL
+	// BatchRecords / BatchBytes bound one records frame (defaults 512
+	// records / 1 MiB).
+	BatchRecords int
+	BatchBytes   int
+	// Heartbeat is the idle keep-alive cadence carrying the leader's
+	// head position to followers (default 500 ms).
+	Heartbeat time.Duration
+	// WriteTimeout bounds one frame write to a stalled follower before
+	// the connection is torn down (default 30 s).
+	WriteTimeout time.Duration
+	// Metrics receives the replication_* families. Nil registers into a
+	// private registry.
+	Metrics *metrics.Registry
+	// Logger receives structured replication events. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *SourceConfig) fill() {
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 512
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 1 << 20
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+type sourceMetrics struct {
+	records  *metrics.Counter
+	bytes    *metrics.Counter
+	segments *metrics.Counter
+	frames   *metrics.Counter
+	acked    *metrics.Gauge
+}
+
+// Source is the leader side of WAL-shipping replication: it accepts
+// follower connections, tails the WAL from each follower's acknowledged
+// position, and streams committed records. Follower acks feed the WAL's
+// retain floor so snapshots never truncate segments an attached
+// follower still needs.
+type Source struct {
+	cfg SourceConfig
+	ln  net.Listener
+	met sourceMetrics
+
+	mu     sync.Mutex
+	conns  map[*srcConn]struct{}
+	floor  uint64 // sticky min acked position across followers
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type srcConn struct {
+	c      net.Conn
+	acked  uint64 // guarded by Source.mu
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (sc *srcConn) shutdown() {
+	sc.once.Do(func() {
+		close(sc.closed)
+		sc.c.Close()
+	})
+}
+
+// NewSource starts a replication source listening on addr
+// (e.g. ":9480"; use "127.0.0.1:0" in tests).
+func NewSource(addr string, cfg SourceConfig) (*Source, error) {
+	if cfg.WAL == nil {
+		return nil, errors.New("replica: SourceConfig.WAL is required")
+	}
+	cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[*srcConn]struct{}),
+		met: sourceMetrics{
+			records:  reg.Counter("replication_records_shipped_total", "WAL records streamed to follower replicas."),
+			bytes:    reg.Counter("replication_bytes_shipped_total", "Payload bytes streamed to follower replicas."),
+			segments: reg.Counter("replication_segments_shipped_total", "WAL segments fully streamed to a follower (counted per stream)."),
+			frames:   reg.Counter("replication_frames_shipped_total", "Protocol frames (records + heartbeats) sent to followers."),
+			acked:    reg.Gauge("replication_min_acked_seq", "Lowest follower-acknowledged WAL sequence number (the truncation retain floor)."),
+		},
+	}
+	reg.GaugeFunc("replication_followers", "Follower replicas currently attached.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Source) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting followers and tears down every stream.
+func (s *Source) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for sc := range s.conns {
+		sc.shutdown()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Source) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &srcConn{c: c, closed: make(chan struct{})}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			err := s.serve(sc)
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logger.Warn("replication stream ended", "remote", c.RemoteAddr(), "err", err)
+			}
+			sc.shutdown()
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// noteAck records a follower's durable position and re-derives the WAL
+// retain floor (sticky: the floor never drops when followers detach, so
+// a briefly-disconnected replica can still resume after a snapshot).
+func (s *Source) noteAck(sc *srcConn, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > sc.acked {
+		sc.acked = seq
+	}
+	min := uint64(0)
+	first := true
+	for c := range s.conns {
+		if first || c.acked < min {
+			min, first = c.acked, false
+		}
+	}
+	if first {
+		return
+	}
+	s.floor = min + 1
+	s.cfg.WAL.SetRetainFloor(s.floor)
+	s.met.acked.Set(float64(min))
+}
+
+func (s *Source) serve(sc *srcConn) error {
+	head := func() uint64 { return s.cfg.WAL.NextSeq() - 1 }
+
+	// Handshake: learn the follower's resume position, refuse positions
+	// truncation has already passed (the follower must be re-seeded).
+	sc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resume, err := readHandshake(sc.c)
+	if err != nil {
+		return err
+	}
+	sc.c.SetReadDeadline(time.Time{})
+	oldest, err := s.cfg.WAL.OldestSegment()
+	if err != nil {
+		return err
+	}
+	if err := writeHandshakeReply(sc.c, oldest, head()); err != nil {
+		return err
+	}
+	if resume+1 < oldest {
+		return ErrResumeTooOld
+	}
+	s.cfg.Logger.Info("follower attached", "remote", sc.c.RemoteAddr(), "resume_after", resume)
+	s.noteAck(sc, resume)
+
+	cur, err := wal.OpenCursor(s.cfg.WAL.Dir(), resume)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+
+	// Ack reader: the only reader of this connection after handshake.
+	go func() {
+		var buf []byte
+		for {
+			typ, payload, nbuf, err := readFrame(sc.c, buf)
+			if err != nil {
+				sc.shutdown()
+				return
+			}
+			buf = nbuf
+			if typ != frameAck {
+				s.cfg.Logger.Warn("unexpected frame from follower", "type", typ)
+				sc.shutdown()
+				return
+			}
+			seq, err := decodeAckPayload(payload)
+			if err != nil {
+				sc.shutdown()
+				return
+			}
+			s.noteAck(sc, seq)
+		}
+	}()
+
+	watch := s.cfg.WAL.Watch()
+	defer s.cfg.WAL.Unwatch(watch)
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
+
+	bw := bufio.NewWriterSize(sc.c, 64<<10)
+	send := func(typ byte, payload []byte) error {
+		sc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := writeFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		s.met.frames.Inc()
+		return nil
+	}
+
+	var (
+		data     []byte // flat payload arena for one batch
+		offs     []int
+		seqs     []uint64
+		recs     []Record
+		frameBuf []byte
+	)
+	lastSeg := uint64(0)
+	for {
+		select {
+		case <-sc.closed:
+			return nil
+		default:
+		}
+		// Gather up to one frame's worth of records from the cursor.
+		data, offs, seqs = data[:0], offs[:0], seqs[:0]
+		for len(seqs) < s.cfg.BatchRecords && len(data) < s.cfg.BatchBytes {
+			seq, p, err := cur.Next()
+			if errors.Is(err, wal.ErrNoMore) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			offs = append(offs, len(data))
+			data = append(data, p...)
+			seqs = append(seqs, seq)
+		}
+		if seg := cur.Segment(); seg != lastSeg {
+			if lastSeg != 0 {
+				s.met.segments.Inc()
+			}
+			lastSeg = seg
+		}
+		if len(seqs) == 0 {
+			select {
+			case <-sc.closed:
+				return nil
+			case <-watch:
+			case <-hb.C:
+				frameBuf = appendStatus(frameBuf[:0], head(), time.Now())
+				if err := send(frameHeartbeat, frameBuf); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		recs = recs[:0]
+		for i, off := range offs {
+			end := len(data)
+			if i+1 < len(offs) {
+				end = offs[i+1]
+			}
+			recs = append(recs, Record{Seq: seqs[i], Payload: data[off:end]})
+		}
+		frameBuf = appendRecordsPayload(frameBuf[:0], head(), time.Now(), recs)
+		if err := send(frameRecords, frameBuf); err != nil {
+			return err
+		}
+		s.met.records.Add(uint64(len(recs)))
+		s.met.bytes.Add(uint64(len(data)))
+	}
+}

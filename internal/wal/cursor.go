@@ -1,0 +1,238 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrNoMore is returned by Cursor.Next when the cursor has reached the
+// committed tail of the log. The caller waits (e.g. on WAL.Watch) and
+// calls Next again; more records may appear at any time.
+var ErrNoMore = errors.New("wal: no more records")
+
+// Cursor reads committed records from a write-ahead log directory in
+// sequence order, starting after a given sequence number. It is the
+// export surface the replication stream (and backup tooling) tails the
+// log through:
+//
+//   - it survives segment rotation: when the current segment is sealed
+//     (a newer one exists) and fully consumed, the cursor advances;
+//   - it survives torn tails: an incomplete or CRC-damaged record at the
+//     tail of the last segment reads as ErrNoMore, not corruption — the
+//     writer may still be mid-write, or a crash may leave a tail that
+//     Open will truncate on restart;
+//   - it tolerates truncation racing it (TruncateBefore deleting the
+//     segment under the cursor) by reopening at the oldest survivor.
+//
+// A Cursor takes no locks against the writer: it reads with ReadAt at
+// its own offset and only trusts length/CRC-framed, strictly increasing
+// records, exactly like crash recovery. It is not safe for concurrent
+// use by multiple goroutines.
+type Cursor struct {
+	dir      string
+	after    uint64 // last sequence number returned (records <= after are skipped)
+	f        *os.File
+	segFirst uint64
+	offset   int64
+	buf      []byte
+}
+
+// OpenCursor opens a cursor over the log directory dir positioned just
+// past afterSeq: the first Next returns the oldest retained record with
+// a sequence number > afterSeq. The directory may be actively written
+// by an open WAL.
+func OpenCursor(dir string, afterSeq uint64) (*Cursor, error) {
+	if dir == "" {
+		return nil, errors.New("wal: cursor needs a directory")
+	}
+	return &Cursor{dir: dir, after: afterSeq}, nil
+}
+
+// Position returns the sequence number of the last record Next returned
+// (or the initial afterSeq).
+func (c *Cursor) Position() uint64 { return c.after }
+
+// Segment returns the first-sequence name of the segment the cursor is
+// currently reading (0 before the first read).
+func (c *Cursor) Segment() uint64 { return c.segFirst }
+
+// Close releases the cursor's file handle.
+func (c *Cursor) Close() error {
+	if c.f != nil {
+		err := c.f.Close()
+		c.f = nil
+		return err
+	}
+	return nil
+}
+
+// Next returns the next committed record. The payload slice is only
+// valid until the following Next call. At the tail of the log it
+// returns ErrNoMore; any other error is I/O failure or corruption.
+func (c *Cursor) Next() (seq uint64, payload []byte, err error) {
+	for {
+		if c.f == nil {
+			ok, err := c.seek()
+			if err != nil {
+				return 0, nil, err
+			}
+			if !ok {
+				return 0, nil, ErrNoMore
+			}
+		}
+		seq, payload, ok, err := c.readAt()
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			if seq <= c.after {
+				continue // resume skip: already consumed
+			}
+			c.after = seq
+			return seq, payload, nil
+		}
+		// No complete valid record at the current offset. If this is the
+		// last segment that is the (possibly mid-write) tail: wait.
+		next, sealed, err := c.nextSegment()
+		if err != nil {
+			return 0, nil, err
+		}
+		if !sealed {
+			return 0, nil, ErrNoMore
+		}
+		// A newer segment exists, so this one is sealed — rotation syncs
+		// and closes a segment before creating its successor. Retry once
+		// to pick up records written between our first read and the
+		// rotation, then advance.
+		seq, payload, ok, err = c.readAt()
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			if seq <= c.after {
+				continue
+			}
+			c.after = seq
+			return seq, payload, nil
+		}
+		fi, err := c.f.Stat()
+		if err != nil {
+			return 0, nil, err
+		}
+		if c.offset < fi.Size() {
+			return 0, nil, fmt.Errorf("wal: corrupt record in sealed segment %s at offset %d",
+				segName(c.segFirst), c.offset)
+		}
+		if err := c.openAt(next); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// seek positions the cursor on the segment that may contain the first
+// record with sequence number > c.after: the newest segment whose first
+// sequence is <= after+1, or the oldest segment when truncation (or a
+// snapshot gap) has passed the requested position. Returns ok=false
+// when the directory holds no segments yet.
+func (c *Cursor) seek() (ok bool, err error) {
+	for {
+		segs, err := listSegments(c.dir)
+		if err != nil {
+			return false, err
+		}
+		if len(segs) == 0 {
+			return false, nil
+		}
+		idx := 0
+		for i, s := range segs {
+			if s.firstSeq <= c.after+1 {
+				idx = i
+			} else {
+				break
+			}
+		}
+		f, err := os.Open(segs[idx].path)
+		if os.IsNotExist(err) {
+			continue // truncated between list and open; re-seek
+		}
+		if err != nil {
+			return false, err
+		}
+		c.f, c.segFirst, c.offset = f, segs[idx].firstSeq, 0
+		return true, nil
+	}
+}
+
+// openAt switches the cursor to the segment named firstSeq. If that
+// segment has been truncated away in the meantime, it re-seeks.
+func (c *Cursor) openAt(firstSeq uint64) error {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+	f, err := os.Open(filepath.Join(c.dir, segName(firstSeq)))
+	if os.IsNotExist(err) {
+		_, err := c.seek()
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	c.f, c.segFirst, c.offset = f, firstSeq, 0
+	return nil
+}
+
+// nextSegment reports whether a segment newer than the current one
+// exists (which seals the current one) and its first sequence number.
+func (c *Cursor) nextSegment() (firstSeq uint64, exists bool, err error) {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, s := range segs {
+		if s.firstSeq > c.segFirst {
+			return s.firstSeq, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// readAt tries to read one framed record at the cursor's offset.
+// ok=false means the bytes there do not (yet) form a complete valid
+// record — the torn-tail condition; only real I/O failures are errors.
+func (c *Cursor) readAt() (seq uint64, payload []byte, ok bool, err error) {
+	var head [headerSize]byte
+	if _, err := c.f.ReadAt(head[:], c.offset); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	n := binary.LittleEndian.Uint32(head[0:4])
+	crc := binary.LittleEndian.Uint32(head[4:8])
+	if n > maxRecord {
+		return 0, nil, false, nil
+	}
+	need := int(n) + 8
+	if cap(c.buf) < need {
+		c.buf = make([]byte, need)
+	}
+	body := c.buf[:need]
+	copy(body[:8], head[8:16])
+	if _, err := c.f.ReadAt(body[8:], c.offset+headerSize); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, nil, false, nil
+	}
+	c.offset += int64(headerSize) + int64(n)
+	return binary.LittleEndian.Uint64(head[8:16]), body[8:], true, nil
+}

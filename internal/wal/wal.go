@@ -120,6 +120,15 @@ type WAL struct {
 	dirty    int // records written since last fsync
 	closed   bool
 
+	// retainFloor, when non-zero, pins TruncateBefore: records with
+	// sequence numbers >= retainFloor are never truncated. Replication
+	// sets it to the lowest follower-acknowledged position so a snapshot
+	// cannot delete segments an attached follower still needs.
+	retainFloor uint64
+
+	// watchers are append-notification channels handed out by Watch.
+	watchers []chan struct{}
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -229,13 +238,51 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if w.closed {
 		return 0, ErrClosed
 	}
+	seq := w.nextSeq
+	if err := w.appendLocked(seq, payload); err != nil {
+		return 0, err
+	}
+	w.nextSeq = seq + 1
+	w.notifyLocked()
+	return seq, nil
+}
+
+// AppendAt writes one record with a caller-chosen sequence number, which
+// must be at or above the next unused one (gaps are legal; going
+// backwards is not). Follower replicas use it to mirror the leader's
+// sequence numbering into their own log, so a follower's snapshots, WAL
+// replay, and replication-resume position all speak leader offsets.
+func (w *WAL) AppendAt(seq uint64, payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds cap", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if seq < w.nextSeq {
+		return fmt.Errorf("wal: AppendAt(%d) behind next sequence %d", seq, w.nextSeq)
+	}
+	w.nextSeq = seq // segment rotation names the new file after nextSeq
+	if err := w.appendLocked(seq, payload); err != nil {
+		return err
+	}
+	w.nextSeq = seq + 1
+	w.notifyLocked()
+	return nil
+}
+
+// appendLocked frames and writes one record with the given sequence
+// number. The caller holds w.mu, has checked closed/size caps, and has
+// set w.nextSeq == seq (rotation uses it to name a fresh segment).
+func (w *WAL) appendLocked(seq uint64, payload []byte) error {
 	rec := headerSize + len(payload)
 	if w.size > 0 && w.size+int64(rec) > w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	seq := w.nextSeq
 	if cap(w.scratch) < rec {
 		w.scratch = make([]byte, rec)
 	}
@@ -245,19 +292,16 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	copy(buf[16:], payload)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
 	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
+		return err
 	}
 	w.size += int64(rec)
-	w.nextSeq++
 	w.dirty++
 	w.met.appendRecords.Inc()
 	w.met.appendBytes.Add(uint64(rec))
 	if w.dirty >= w.opts.SyncEvery {
-		if err := w.syncLocked(); err != nil {
-			return 0, err
-		}
+		return w.syncLocked()
 	}
-	return seq, nil
+	return nil
 }
 
 // AppendBatch writes len(payloads) records with consecutive sequence
@@ -315,7 +359,67 @@ func (w *WAL) AppendBatch(payloads [][]byte) (first uint64, err error) {
 			return 0, err
 		}
 	}
+	w.notifyLocked()
 	return first, nil
+}
+
+// Watch returns a channel that receives a (coalesced) signal after every
+// append, so a tailer can sleep until new records may exist instead of
+// polling. Release it with Unwatch.
+func (w *WAL) Watch() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	w.mu.Lock()
+	w.watchers = append(w.watchers, ch)
+	w.mu.Unlock()
+	return ch
+}
+
+// Unwatch releases a channel obtained from Watch.
+func (w *WAL) Unwatch(ch <-chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, c := range w.watchers {
+		if c == ch {
+			w.watchers = append(w.watchers[:i], w.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *WAL) notifyLocked() {
+	for _, ch := range w.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // a pending signal already covers this append
+		}
+	}
+}
+
+// SetRetainFloor pins truncation: records with sequence numbers >= seq
+// survive TruncateBefore regardless of its cutoff. Zero clears the
+// floor. Replication holds the floor at the lowest position an attached
+// follower has acknowledged.
+func (w *WAL) SetRetainFloor(seq uint64) {
+	w.mu.Lock()
+	w.retainFloor = seq
+	w.mu.Unlock()
+}
+
+// Dir returns the log directory (for cursors and backup tooling).
+func (w *WAL) Dir() string { return w.opts.Dir }
+
+// OldestSegment returns the first sequence number of the oldest retained
+// segment file — a lower bound on the oldest replayable record, used by
+// replication to refuse resume positions that truncation has passed.
+func (w *WAL) OldestSegment() (uint64, error) {
+	segs, err := listSegments(w.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, errors.New("wal: no segments")
+	}
+	return segs[0].firstSeq, nil
 }
 
 // Sync forces any unsynced records to stable storage.
@@ -388,12 +492,16 @@ func (w *WAL) SkipTo(seq uint64) {
 // TruncateBefore deletes whole segments all of whose records have
 // sequence numbers < seq (typically seq = snapshot cutoff + 1). The
 // active segment is never deleted, so truncation is approximate in the
-// conservative direction.
+// conservative direction. A retain floor (SetRetainFloor) caps the
+// effective cutoff.
 func (w *WAL) TruncateBefore(seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
+	}
+	if w.retainFloor != 0 && w.retainFloor < seq {
+		seq = w.retainFloor
 	}
 	segs, err := listSegments(w.opts.Dir)
 	if err != nil {

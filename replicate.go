@@ -1,0 +1,261 @@
+package orfdisk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"orfdisk/internal/replica"
+	"orfdisk/internal/wal"
+)
+
+// Follower mode: an engine created with EngineConfig.Follower is a read
+// replica. It refuses writes (Ingest/IngestBatch/Retire fail with
+// ErrNotLeader), and instead implements replica.Applier: records shipped
+// from the leader are appended to the follower's own WAL *at the
+// leader's sequence numbers* (wal.AppendAt), then applied to the shard
+// workers exactly like recovery replay. Because the follower mirrors
+// leader numbering, its snapshots, crash recovery and replication-resume
+// position all speak leader offsets — and after Promote, appends simply
+// continue the leader's sequence, so a promoted follower's saved state
+// is byte-identical to the state an uninterrupted leader would have
+// saved.
+//
+// The read path is fully live on a follower: shards publish frozen
+// snapshots as replicated records are applied, so /v1/predict serves
+// warm reads whose staleness is the replication lag plus the freeze
+// cadence.
+
+// ErrNotLeader reports a write routed to a follower replica. HTTP maps
+// it to 409 Conflict; clients should retry against the leader.
+var ErrNotLeader = errors.New("orfdisk: not the leader (follower replicas are read-only)")
+
+// IsFollower reports whether the engine currently refuses writes.
+func (e *Engine) IsFollower() bool { return e.follower.Load() }
+
+// WAL exposes the engine's write-ahead log for replication (a
+// replica.Source ships it to followers). Nil without a DataDir.
+func (e *Engine) WAL() *wal.WAL { return e.wal }
+
+// ReplicationResume returns the last leader sequence number this engine
+// has durably applied (0 before any). Part of replica.Applier: it is
+// the handshake resume position and the value of every ack.
+func (e *Engine) ReplicationResume() uint64 { return e.replApplied.Load() }
+
+// ObserveLeaderHead records the leader's newest committed sequence
+// number and the leader-side send time of the frame that carried it.
+// Part of replica.Applier; feeds the replica_lag_* gauges and Ready.
+func (e *Engine) ObserveLeaderHead(head uint64, sentAt time.Time) {
+	e.leaderHead.Store(head)
+	e.leaderSent.Store(sentAt.UnixNano())
+}
+
+// ApplyReplicated durably applies a batch of leader records: each is
+// appended to the follower's WAL at the leader's sequence number, then
+// applied to its model's shard; the batch is fsynced before return, so
+// the ack that follows only ever covers crash-safe state. Part of
+// replica.Applier.
+func (e *Engine) ApplyReplicated(recs []replica.Record) error {
+	if !e.follower.Load() {
+		// A promoted (or misconfigured) engine must not mix a replication
+		// stream into its own appends.
+		return ErrNotLeader
+	}
+	applied := e.replApplied.Load()
+	for _, r := range recs {
+		if r.Seq <= applied {
+			continue // duplicate delivery after a reconnect
+		}
+		if err := e.wal.AppendAt(r.Seq, r.Payload); err != nil {
+			return err
+		}
+		if err := e.applyReplicatedRecord(r.Seq, r.Payload); err != nil {
+			return err
+		}
+		applied = r.Seq
+		e.replApplied.Store(applied)
+	}
+	return e.wal.Sync()
+}
+
+// applyReplicatedRecord routes one already-durable leader record to its
+// shard, mirroring recovery replay: routes commit, the predictor
+// updates, a rejected record is skipped (the leader surfaced that same
+// deterministic error to its client, so skipping keeps state identical).
+func (e *Engine) applyReplicatedRecord(seq uint64, payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch rec.kind {
+	case recObserve, recObserveV2:
+		e.mu.Lock()
+		e.modelOf[rec.obs.Serial] = rec.obs.Model
+		e.mu.Unlock()
+		var ierr error
+		if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
+			_, ierr = s.p.Ingest(rec.obs.Observation)
+			s.lastSeq = seq
+			if s.firstUnsnapped == 0 {
+				s.firstUnsnapped = seq
+			}
+			if ierr == nil {
+				e.noteApplied(s, 1)
+			}
+		}); err != nil {
+			return err
+		}
+		if ierr != nil {
+			e.met.replaySkipped.Inc()
+			e.log.Warn("replication: predictor rejected record; skipping",
+				"seq", seq, "model", rec.obs.Model, "serial", rec.obs.Serial, "err", ierr)
+			return nil
+		}
+		e.met.ingests.Inc()
+		if rec.obs.Failed {
+			e.mu.Lock()
+			delete(e.modelOf, rec.obs.Serial)
+			e.mu.Unlock()
+		}
+	case recRetire:
+		if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
+			s.p.Retire(rec.obs.Serial)
+			s.lastSeq = seq
+			if s.firstUnsnapped == 0 {
+				s.firstUnsnapped = seq
+			}
+		}); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		delete(e.modelOf, rec.obs.Serial)
+		e.mu.Unlock()
+	default:
+		return fmt.Errorf("orfdisk: unknown replicated record kind %d at seq %d", rec.kind, seq)
+	}
+	return nil
+}
+
+// lagRecords returns how many leader records the follower has yet to
+// apply (0 for leaders and caught-up followers).
+func (e *Engine) lagRecords() uint64 {
+	if !e.follower.Load() {
+		return 0
+	}
+	head, applied := e.leaderHead.Load(), e.replApplied.Load()
+	if head <= applied {
+		return 0
+	}
+	return head - applied
+}
+
+// lagSeconds estimates replication staleness: 0 when caught up, else
+// the age of the newest leader frame the follower has not fully applied.
+func (e *Engine) lagSeconds() float64 {
+	if e.lagRecords() == 0 {
+		return 0
+	}
+	sent := e.leaderSent.Load()
+	if sent == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, sent)).Seconds()
+}
+
+// ReplicationStatus is the GET /v1/replication report.
+type ReplicationStatus struct {
+	Role        string  `json:"role"` // "leader" | "follower"
+	Applied     uint64  `json:"applied_seq"`
+	LeaderHead  uint64  `json:"leader_head,omitempty"`
+	LagRecords  uint64  `json:"lag_records"`
+	LagSeconds  float64 `json:"lag_seconds"`
+	ReadyMaxLag uint64  `json:"ready_max_lag,omitempty"`
+}
+
+// Replication reports the engine's replication role and lag.
+func (e *Engine) Replication() ReplicationStatus {
+	st := ReplicationStatus{Role: "leader", Applied: e.wallessApplied()}
+	if e.follower.Load() {
+		st.Role = "follower"
+		st.Applied = e.replApplied.Load()
+		st.LeaderHead = e.leaderHead.Load()
+		st.LagRecords = e.lagRecords()
+		st.LagSeconds = e.lagSeconds()
+		st.ReadyMaxLag = e.readyMaxLag
+	}
+	return st
+}
+
+// wallessApplied is the leader-side applied position (newest committed
+// sequence number), tolerating the in-memory (no WAL) configuration.
+func (e *Engine) wallessApplied() uint64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.NextSeq() - 1
+}
+
+// Ready reports whether the engine should receive traffic: a leader is
+// ready once NewEngine has returned (recovery complete); a follower is
+// ready once it has heard from its leader and its lag is at most
+// EngineConfig.ReadyMaxLag records. The reason is empty when ready.
+func (e *Engine) Ready() (bool, string) {
+	if !e.follower.Load() {
+		return true, ""
+	}
+	if e.leaderSent.Load() == 0 {
+		return false, "follower has not heard from its leader yet"
+	}
+	if lag := e.lagRecords(); lag > e.readyMaxLag {
+		return false, fmt.Sprintf("replication lag %d records exceeds limit %d", lag, e.readyMaxLag)
+	}
+	return true, ""
+}
+
+// Promote turns a follower into a leader. Idempotent; safe to call on a
+// leader (no-op). The engine starts accepting writes immediately,
+// continuing the leader's sequence numbering, and any OnPromote hooks
+// run (synchronously) exactly once — the serving layer uses one to stop
+// the follower client.
+//
+// Promote does not contact the old leader: the caller (a routing tier,
+// an operator) decides when the leader is dead. Promoting while the old
+// leader still accepts writes forks the logs — exactly the split-brain
+// every external failover system risks; fence the old leader first.
+func (e *Engine) Promote() {
+	if !e.follower.CompareAndSwap(true, false) {
+		return
+	}
+	e.log.Info("promoted to leader", "applied_seq", e.replApplied.Load())
+	e.promoteMu.Lock()
+	hooks := e.onPromote
+	e.onPromote = nil
+	e.promoteMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// OnPromote registers fn to run when Promote fires (synchronously, in
+// registration order). Registering after promotion runs fn immediately.
+func (e *Engine) OnPromote(fn func()) {
+	e.promoteMu.Lock()
+	if e.follower.Load() {
+		e.onPromote = append(e.onPromote, fn)
+		e.promoteMu.Unlock()
+		return
+	}
+	e.promoteMu.Unlock()
+	fn()
+}
+
+// registerReplicaGauges surfaces follower lag for scraping. Registered
+// for every engine: leaders (and promoted followers) read 0.
+func (e *Engine) registerReplicaGauges() {
+	e.reg.GaugeFunc("replica_lag_records",
+		"Leader records not yet applied by this follower (0 on leaders).",
+		func() float64 { return float64(e.lagRecords()) })
+	e.reg.GaugeFunc("replica_lag_seconds",
+		"Age of the newest unapplied leader frame (0 when caught up or leading).",
+		func() float64 { return e.lagSeconds() })
+}

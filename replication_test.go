@@ -1,0 +1,354 @@
+package orfdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"orfdisk/internal/replica"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newLeader(t *testing.T, dir string) (*Engine, *replica.Source) {
+	t.Helper()
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource("127.0.0.1:0", replica.SourceConfig{WAL: eng.WAL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, src
+}
+
+func newFollower(t *testing.T, dir, leaderAddr string) (*Engine, *replica.Follower) {
+	t.Helper()
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: dir, Follower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := replica.StartFollower(leaderAddr, replica.FollowerConfig{
+		Applier: eng, RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fl
+}
+
+func snapFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+// TestReplicationBitIdenticalPromotion is the harness the subsystem is
+// accepted against: a leader dies mid-ingest, its follower is promoted,
+// the remaining stream continues on the promoted node — and both the
+// live predictions and the final saved state are BYTE-identical to a
+// reference run that never failed over. Replication + promotion are
+// exactly invisible.
+func TestReplicationBitIdenticalPromotion(t *testing.T) {
+	obs := engineStream(t, 77, 3)
+	cut := 2 * len(obs) / 3
+
+	// Reference: one engine ingests the full stream uninterrupted.
+	dirRef := t.TempDir()
+	ref, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: dirRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPred := make([]Prediction, len(obs))
+	refErr := make([]error, len(obs))
+	for i, o := range obs {
+		refPred[i], refErr[i] = ref.Ingest(o)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cluster: a leader shipping its WAL to one follower.
+	dirL, dirF := t.TempDir(), t.TempDir()
+	leader, src := newLeader(t, dirL)
+	follower, fl := newFollower(t, dirF, src.Addr())
+
+	// Ingest the prefix on the leader; the leader's live predictions
+	// already must match the reference (same deterministic stream).
+	for i, o := range obs[:cut] {
+		pred, err := leader.Ingest(o)
+		if (err == nil) != (refErr[i] == nil) {
+			t.Fatalf("obs %d: error divergence: leader %v ref %v", i, err, refErr[i])
+		}
+		if err == nil && !samePrediction(pred, refPred[i]) {
+			t.Fatalf("obs %d: leader prediction diverged from reference", i)
+		}
+	}
+	leaderLast := leader.WAL().NextSeq() - 1
+	waitUntil(t, 30*time.Second, "follower catch-up", func() bool {
+		return follower.ReplicationResume() == leaderLast
+	})
+
+	// The follower is read-only until promoted.
+	if _, err := follower.Ingest(obs[cut]); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower accepted a write: %v", err)
+	}
+
+	// Kill the leader mid-deployment: tear down its replication source
+	// and abandon the engine without the final snapshot a clean Close
+	// would take — from the follower's view the process just died.
+	src.Close()
+	fl.Close()
+	follower.Promote()
+	if follower.IsFollower() {
+		t.Fatal("promotion did not take")
+	}
+
+	// The promoted follower finishes the stream. Every live prediction
+	// must be bit-identical to the uninterrupted reference run: same
+	// scores (down to float bits), same alarms, same RNG streams.
+	for i := cut; i < len(obs); i++ {
+		pred, err := follower.Ingest(obs[i])
+		if (err == nil) != (refErr[i] == nil) {
+			t.Fatalf("obs %d: error divergence after promotion: %v vs %v", i, err, refErr[i])
+		}
+		if err == nil && !samePrediction(pred, refPred[i]) {
+			t.Fatalf("obs %d: post-promotion prediction diverged from reference:\ngot  %+v\nwant %+v",
+				i, pred, refPred[i])
+		}
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The promoted node's saved state is byte-identical to the reference
+	// run's: the follower mirrored the leader's WAL sequence numbers, so
+	// snapshots carry the same positions, and predictor serialization is
+	// deterministic.
+	want := snapFiles(t, dirRef)
+	got := snapFiles(t, dirF)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no snapshots")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot sets differ: %d files vs %d", len(got), len(want))
+	}
+	for name, wb := range want {
+		gb, ok := got[name]
+		if !ok {
+			t.Fatalf("promoted follower is missing snapshot %s", name)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("snapshot %s differs from the uninterrupted run (%d vs %d bytes)",
+				name, len(gb), len(wb))
+		}
+	}
+}
+
+// TestFollowerResumeAfterRestart restarts a follower and checks that it
+// reconnects from its own durable position — no re-seed, no duplicate
+// application — and converges with the leader.
+func TestFollowerResumeAfterRestart(t *testing.T) {
+	obs := engineStream(t, 31, 2)
+	half := len(obs) / 2
+
+	dirL, dirF := t.TempDir(), t.TempDir()
+	leader, src := newLeader(t, dirL)
+	defer src.Close()
+	defer leader.Close()
+
+	follower, fl := newFollower(t, dirF, src.Addr())
+	for _, o := range obs[:half] {
+		if _, err := leader.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaderLast := leader.WAL().NextSeq() - 1
+	waitUntil(t, 30*time.Second, "first catch-up", func() bool {
+		return follower.ReplicationResume() == leaderLast
+	})
+
+	// Stop the follower (client first, then a clean engine shutdown that
+	// persists snapshots) and keep writing on the leader meanwhile.
+	fl.Close()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[half:] {
+		if _, err := leader.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: recovery must put the resume position exactly where the
+	// stream stopped, and the new client picks up from there.
+	follower2, fl2 := newFollower(t, dirF, src.Addr())
+	defer fl2.Close()
+	defer follower2.Close()
+	if got := follower2.ReplicationResume(); got != leaderLast {
+		t.Fatalf("recovered resume position %d, want %d", got, leaderLast)
+	}
+	leaderLast = leader.WAL().NextSeq() - 1
+	waitUntil(t, 30*time.Second, "post-restart catch-up", func() bool {
+		return follower2.ReplicationResume() == leaderLast
+	})
+
+	// Converged: identical per-model forest statistics.
+	wantStats := fmt.Sprintf("%+v", leader.Stats())
+	gotStats := fmt.Sprintf("%+v", follower2.Stats())
+	if wantStats != gotStats {
+		t.Fatalf("stats diverged after resume:\nleader   %s\nfollower %s", wantStats, gotStats)
+	}
+}
+
+// TestFollowerGatesWritesAndReadiness needs no network: role gating and
+// readiness are engine-local.
+func TestFollowerGatesWritesAndReadiness(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(),
+		Follower: true, ReadyMaxLag: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	obs := engineStream(t, 5, 1)[0]
+	if _, err := eng.Ingest(obs); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Ingest on follower: %v, want ErrNotLeader", err)
+	}
+	for _, res := range eng.IngestBatch([]FleetObservation{obs}) {
+		if !errors.Is(res.Err, ErrNotLeader) {
+			t.Fatalf("IngestBatch on follower: %v, want ErrNotLeader", res.Err)
+		}
+	}
+	if err := eng.Retire("X"); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Retire on follower: %v, want ErrNotLeader", err)
+	}
+	if ok, reason := eng.Ready(); ok || reason == "" {
+		t.Fatalf("follower ready before hearing from a leader (reason %q)", reason)
+	}
+	// Caught up within the lag bound -> ready; too far behind -> not.
+	eng.ObserveLeaderHead(8, time.Now())
+	if ok, _ := eng.Ready(); !ok {
+		t.Fatal("follower not ready at lag <= bound")
+	}
+	eng.ObserveLeaderHead(100, time.Now())
+	if ok, _ := eng.Ready(); ok {
+		t.Fatal("follower ready at lag > bound")
+	}
+	st := eng.Replication()
+	if st.Role != "follower" || st.LagRecords != 100 {
+		t.Fatalf("replication status: %+v", st)
+	}
+
+	// Promotion lifts the gate and runs hooks exactly once.
+	hooks := 0
+	eng.OnPromote(func() { hooks++ })
+	eng.Promote()
+	eng.Promote() // idempotent
+	if hooks != 1 {
+		t.Fatalf("OnPromote ran %d times", hooks)
+	}
+	if _, err := eng.Ingest(obs); err != nil {
+		t.Fatalf("Ingest after promotion: %v", err)
+	}
+	if ok, _ := eng.Ready(); !ok {
+		t.Fatal("leader not ready")
+	}
+	if st := eng.Replication(); st.Role != "leader" {
+		t.Fatalf("role after promotion: %+v", st)
+	}
+	// Hooks registered after promotion fire immediately.
+	late := 0
+	eng.OnPromote(func() { late++ })
+	if late != 1 {
+		t.Fatal("post-promotion OnPromote did not fire")
+	}
+}
+
+// TestReplicationHammerThreeNodes drives a leader and two followers
+// with concurrent batched ingest and checks full convergence. Sized to
+// stay fast under -race -short (the CI race job).
+func TestReplicationHammerThreeNodes(t *testing.T) {
+	obs := engineStream(t, 42, 4)
+	if testing.Short() && len(obs) > 3000 {
+		obs = obs[:3000]
+	}
+
+	leader, src := newLeader(t, t.TempDir())
+	defer leader.Close()
+	defer src.Close()
+	f1, fl1 := newFollower(t, t.TempDir(), src.Addr())
+	defer f1.Close()
+	defer fl1.Close()
+	f2, fl2 := newFollower(t, t.TempDir(), src.Addr())
+	defer f2.Close()
+	defer fl2.Close()
+
+	// Concurrent writers, chunked batches. Shedding (ErrBusy) is legal
+	// under pressure; everything the leader accepted must replicate.
+	const writers = 4
+	var wg sync.WaitGroup
+	per := (len(obs) + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		lo := w * per
+		hi := min(lo+per, len(obs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(chunk []FleetObservation) {
+			defer wg.Done()
+			for len(chunk) > 0 {
+				n := min(64, len(chunk))
+				leader.IngestBatch(chunk[:n])
+				chunk = chunk[n:]
+			}
+		}(obs[lo:hi])
+	}
+	wg.Wait()
+	leaderLast := leader.WAL().NextSeq() - 1
+	waitUntil(t, 60*time.Second, "follower 1 catch-up", func() bool {
+		return f1.ReplicationResume() == leaderLast
+	})
+	waitUntil(t, 60*time.Second, "follower 2 catch-up", func() bool {
+		return f2.ReplicationResume() == leaderLast
+	})
+	want := fmt.Sprintf("%+v", leader.Stats())
+	for i, f := range []*Engine{f1, f2} {
+		if got := fmt.Sprintf("%+v", f.Stats()); got != want {
+			t.Fatalf("follower %d stats diverged:\nleader   %s\nfollower %s", i+1, want, got)
+		}
+	}
+}

@@ -33,8 +33,18 @@ import (
 //	GET  /v1/stats          -> per-model forest statistics
 //	GET  /v1/models         -> live shards (model, tracked disks, updates)
 //	GET  /v1/importance?model=M -> ranked feature importance
-//	GET  /healthz           -> 200 ok
+//	GET  /v1/replication    -> {role, applied_seq, lag_records, lag_seconds, ...}
+//	POST /v1/promote        promote a follower replica to leader (idempotent)
+//	GET  /healthz           -> 200 ok (process is up)
+//	GET  /readyz            -> 200 ready, or 503 {"error": reason} while a
+//	                           follower's replication lag exceeds its limit
 //	GET  /metrics           -> Prometheus text exposition
+//
+// On a follower replica (EngineConfig.Follower) the write endpoints
+// (/v1/observe, /v1/observe/batch, /v1/retire) answer 409 Conflict with
+// ErrNotLeader; the read path stays fully live, serving warm frozen
+// snapshots whose staleness is the replication lag plus the freeze
+// cadence.
 //
 // The /v1/predict endpoints are the fleet-dashboard read path: pure
 // reads served from each model's published frozen snapshot (no WAL
@@ -204,9 +214,12 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, http.MethodGet, "/v1/stats", s.handleStats)
 	s.handle(mux, http.MethodGet, "/v1/models", s.handleModels)
 	s.handle(mux, http.MethodGet, "/v1/importance", s.handleImportance)
+	s.handle(mux, http.MethodGet, "/v1/replication", s.handleReplication)
+	s.handle(mux, http.MethodPost, "/v1/promote", s.handlePromote)
 	s.handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.handle(mux, http.MethodGet, "/readyz", s.handleReady)
 	s.handle(mux, http.MethodGet, "/metrics", s.eng.MetricsRegistry().Handler().ServeHTTP)
 	return mux
 }
@@ -293,7 +306,38 @@ func ingestStatus(err error) int {
 	if errors.Is(err, ErrBusy) {
 		return http.StatusServiceUnavailable
 	}
+	if errors.Is(err, ErrNotLeader) {
+		// 409: the request is fine, this replica's role is the conflict.
+		// Routers retry against the leader.
+		return http.StatusConflict
+	}
 	return http.StatusUnprocessableEntity
+}
+
+// handleReady answers readiness probes: distinct from /healthz (which
+// only proves the process is up), /readyz reports whether this instance
+// should receive traffic. A follower that has not caught up to within
+// its configured lag answers 503 so load balancers keep it out of
+// rotation until replication converges.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ok, reason := s.eng.Ready()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.eng.Replication())
+}
+
+// handlePromote flips a follower into a leader (a no-op on a leader, so
+// retried promotions are safe). The caller — a routing tier's failover,
+// or an operator — is responsible for fencing the old leader first.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.eng.Promote()
+	writeJSON(w, s.eng.Replication())
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
