@@ -85,6 +85,7 @@ func main() {
 		replAddr    = flag.String("replicate-addr", "", "leader: listen here for follower replicas and ship the WAL (requires -data)")
 		follow      = flag.String("follow", "", "follower: replicate from the leader's -replicate-addr; this instance becomes a read replica (requires -data)")
 		readyMaxLag = flag.Uint64("ready-max-lag", 256, "follower: /readyz reports not-ready while replication lag exceeds this many records")
+		readyMaxSil = flag.Duration("ready-max-silence", 15*time.Second, "follower: /readyz reports not-ready after this long without any leader frame (catches dead streams that freeze the lag at zero)")
 	)
 	flag.Parse()
 
@@ -114,15 +115,16 @@ func main() {
 			Horizon:   *horizon,
 			ORF:       orfdisk.ORFConfig{Trees: *trees, LambdaNeg: *lambdaN},
 		},
-		DataDir:        *dataDir,
-		SnapshotEvery:  *snapEvery,
-		Mailbox:        *mailbox,
-		FreezeEvery:    *freezeEvery,
-		FreezeInterval: *freezeIval,
-		Follower:       *follow != "",
-		ReadyMaxLag:    *readyMaxLag,
-		Metrics:        reg,
-		Logger:         logger,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		Mailbox:         *mailbox,
+		FreezeEvery:     *freezeEvery,
+		FreezeInterval:  *freezeIval,
+		Follower:        *follow != "",
+		ReadyMaxLag:     *readyMaxLag,
+		ReadyMaxSilence: *readyMaxSil,
+		Metrics:         reg,
+		Logger:          logger,
 	})
 	if err != nil {
 		logger.Error("recovery failed", "err", err)
@@ -161,7 +163,8 @@ func main() {
 			fl.Close()
 		})
 		defer fl.Close()
-		logger.Info("following leader", "leader", *follow, "ready_max_lag", *readyMaxLag)
+		logger.Info("following leader", "leader", *follow,
+			"ready_max_lag", *readyMaxLag, "ready_max_silence", *readyMaxSil)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -70,14 +70,19 @@ type Engine struct {
 	// Replication state (see replicate.go). follower gates writes;
 	// replApplied is the last leader sequence number durably applied;
 	// leaderHead/leaderSent mirror the newest leader frame for lag
-	// accounting. readyMaxLag bounds the catch-up lag /readyz accepts.
-	follower    atomic.Bool
-	replApplied atomic.Uint64
-	leaderHead  atomic.Uint64
-	leaderSent  atomic.Int64
-	readyMaxLag uint64
-	promoteMu   sync.Mutex
-	onPromote   []func()
+	// accounting, and lastFrame is the local receipt time of that frame
+	// (clock-skew-free, for silence detection). readyMaxLag bounds the
+	// catch-up lag /readyz accepts; readyMaxSilence bounds how long a
+	// follower may hear nothing from its leader and still claim ready.
+	follower        atomic.Bool
+	replApplied     atomic.Uint64
+	leaderHead      atomic.Uint64
+	leaderSent      atomic.Int64
+	lastFrame       atomic.Int64
+	readyMaxLag     uint64
+	readyMaxSilence time.Duration
+	promoteMu       sync.Mutex
+	onPromote       []func()
 
 	stop      chan struct{}
 	tickDone  chan struct{}
@@ -129,6 +134,13 @@ type EngineConfig struct {
 	// ReadyMaxLag is the replication lag (in records) beyond which a
 	// follower reports not-ready (default 256). Leaders ignore it.
 	ReadyMaxLag uint64
+	// ReadyMaxSilence is how long a follower may go without hearing any
+	// leader frame (records or heartbeat) before /readyz reports
+	// not-ready (default 15 s). A silent partition freezes the observed
+	// leader head, so lag alone reads as zero exactly when the replica
+	// is at its stalest; silence is the signal that catches it. Leaders
+	// ignore it.
+	ReadyMaxSilence time.Duration
 	// Metrics receives the engine's instrumentation (engine_*, wal_*
 	// and per-model families; the HTTP layer adds http_* when serving).
 	// Nil creates a private registry, reachable via MetricsRegistry.
@@ -239,6 +251,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.readyMaxLag = cfg.ReadyMaxLag
 	if e.readyMaxLag == 0 {
 		e.readyMaxLag = 256
+	}
+	e.readyMaxSilence = cfg.ReadyMaxSilence
+	if e.readyMaxSilence == 0 {
+		e.readyMaxSilence = 15 * time.Second
 	}
 	e.pool = engine.New(engine.Config{
 		Mailbox:        cfg.Mailbox,

@@ -122,6 +122,7 @@ type Router struct {
 
 	requests   *metrics.CounterVec // route_requests_total{node,outcome}
 	promotions *metrics.Counter
+	demotions  *metrics.Counter
 	reg        *metrics.Registry
 
 	stop chan struct{}
@@ -156,6 +157,8 @@ func New(specs []GroupSpec, cfg Config) (*Router, error) {
 			"node", "outcome"),
 		promotions: reg.Counter("router_promotions_total",
 			"Follower promotions the router has triggered after leader health failures."),
+		demotions: reg.Counter("router_demotions_total",
+			"Old-leader fences (POST /v1/demote) the router has issued during failover."),
 		reg:  reg,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -228,6 +231,47 @@ func (rt *Router) probe(n *node, path string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// roleOf probes a node's replication role ("leader" / "follower").
+// ok=false when the node is unreachable or does not expose the
+// endpoint; callers must treat unknown as "leave it alone".
+func (rt *Router) roleOf(n *node) (string, bool) {
+	resp, err := rt.cfg.Client.Get(n.url + "/v1/replication")
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return "", false
+	}
+	var st struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", false
+	}
+	return st.Role, true
+}
+
+// demote fences a node: best-effort POST /v1/demote so it stops
+// accepting writes. Returns whether the node acknowledged the fence.
+func (rt *Router) demote(g *group, n *node, why string) bool {
+	resp, err := rt.cfg.Client.Post(n.url+"/v1/demote", "application/json", nil)
+	if err != nil {
+		rt.cfg.Logger.Warn("fence: demote unreachable", "group", g.name, "node", n.url, "reason", why, "err", err)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rt.cfg.Logger.Warn("fence: demote rejected", "group", g.name, "node", n.url, "reason", why, "status", resp.StatusCode)
+		return false
+	}
+	rt.demotions.Inc()
+	rt.cfg.Logger.Warn("fenced node (demoted)", "group", g.name, "node", n.url, "reason", why)
+	return true
+}
+
 func (rt *Router) probeGroup(g *group) {
 	g.mu.RLock()
 	nodes := append([]*node(nil), g.nodes...)
@@ -242,6 +286,19 @@ func (rt *Router) probeGroup(g *group) {
 		} else {
 			n.fails++
 			n.ready.Store(false)
+		}
+	}
+	// Fencing, part 1: a healthy node claiming the leader role without
+	// being this group's current leader is a resurrected old leader (a
+	// past promotion moved the group on while it was unreachable). Demote
+	// it so direct writes cannot fork the log — the router's own routing
+	// already ignores it, but nothing else stops a client hitting it.
+	for i, n := range nodes {
+		if i == leader || !n.healthy.Load() {
+			continue
+		}
+		if role, ok := rt.roleOf(n); ok && role == "leader" {
+			rt.demote(g, n, "stale leader resurrected")
 		}
 	}
 	ln := nodes[leader]
@@ -269,6 +326,15 @@ func (rt *Router) probeGroup(g *group) {
 		rt.cfg.Logger.Error("leader dead and no follower available", "group", g.name, "leader", ln.url)
 		return
 	}
+	// Fencing, part 2: best-effort demote of the old leader before the
+	// replacement is promoted. If the demote lands, the failure was a
+	// router<->leader path problem rather than a crash — and the fence is
+	// exactly what prevents the two concurrent leaders the promotion
+	// below would otherwise create. If it does not land, the node is as
+	// dead as FailAfter consecutive probes said; should it ever
+	// resurrect, the role check above demotes it on its first healthy
+	// probe.
+	rt.demote(g, ln, "promoting replacement")
 	target := nodes[cand]
 	resp, err := rt.cfg.Client.Post(target.url+"/v1/promote", "application/json", nil)
 	if err != nil {
@@ -288,6 +354,17 @@ func (rt *Router) probeGroup(g *group) {
 	rt.promotions.Inc()
 	rt.cfg.Logger.Warn("promoted follower to leader",
 		"group", g.name, "dead_leader", ln.url, "new_leader", target.url)
+	// orfserve's -follow address is static: surviving followers keep
+	// replicating from the dead leader and will sit at not-ready (silence
+	// gate) until an operator re-points them. Say so explicitly instead
+	// of letting the group quietly run with zero real replicas.
+	for i, n := range nodes {
+		if i == cand || i == leader {
+			continue
+		}
+		rt.cfg.Logger.Warn("surviving follower still replicates from the dead leader; restart it with -follow pointed at the new leader",
+			"group", g.name, "follower", n.url, "new_leader", target.url)
+	}
 }
 
 // --- routing data path ---

@@ -53,8 +53,10 @@ type fakeNode struct {
 	predicts int
 	retires  []string
 	promoted atomic.Bool
+	demoted  atomic.Bool
 	healthy  atomic.Bool
 	ready    atomic.Bool
+	role     atomic.Value // "leader" | "follower"
 	srv      *httptest.Server
 }
 
@@ -63,6 +65,7 @@ func newFakeNode(t *testing.T) *fakeNode {
 	n := &fakeNode{}
 	n.healthy.Store(true)
 	n.ready.Store(true)
+	n.role.Store("follower")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !n.healthy.Load() {
@@ -125,7 +128,26 @@ func newFakeNode(t *testing.T) *fakeNode {
 	})
 	mux.HandleFunc("/v1/promote", func(w http.ResponseWriter, r *http.Request) {
 		n.promoted.Store(true)
+		n.role.Store("leader")
 		json.NewEncoder(w).Encode(map[string]string{"role": "leader"}) //nolint:errcheck
+	})
+	// The replication endpoints die with the process: gate them on
+	// healthy so a "dead" fake really is unreachable for fencing.
+	mux.HandleFunc("/v1/replication", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"role": n.role.Load().(string)}) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/demote", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		n.demoted.Store(true)
+		n.role.Store("follower")
+		json.NewEncoder(w).Encode(map[string]string{"role": "follower"}) //nolint:errcheck
 	})
 	n.srv = httptest.NewServer(mux)
 	t.Cleanup(n.srv.Close)
@@ -343,6 +365,47 @@ func TestRouterPromotesOnLeaderDeath(t *testing.T) {
 	rt.probeAll()
 	if rt.promotions.Value() != 1 {
 		t.Fatalf("promotions repeated: %d", rt.promotions.Value())
+	}
+}
+
+// TestRouterFencesResurrectedLeader: a leader that dies, is replaced by
+// a promotion, and later comes back still believing it leads must be
+// demoted on its first healthy probe — otherwise clients writing to it
+// directly would fork the log (split-brain).
+func TestRouterFencesResurrectedLeader(t *testing.T) {
+	leader, follower := newFakeNode(t), newFakeNode(t)
+	leader.role.Store("leader")
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{leader.srv.URL, follower.srv.URL}},
+	}, Config{HealthInterval: time.Hour, FailAfter: 2})
+
+	// Kill the leader; two failed probes trigger promotion. The
+	// pre-promotion fence attempt cannot reach the dead node, so no
+	// demotion is recorded yet.
+	leader.healthy.Store(false)
+	rt.probeAll()
+	rt.probeAll()
+	if !follower.promoted.Load() {
+		t.Fatal("follower was not promoted")
+	}
+	if leader.demoted.Load() || rt.demotions.Value() != 0 {
+		t.Fatalf("dead leader acknowledged a fence: demoted=%v count=%d",
+			leader.demoted.Load(), rt.demotions.Value())
+	}
+
+	// Resurrect the old leader, role intact. The next probe must fence it.
+	leader.healthy.Store(true)
+	rt.probeAll()
+	if !leader.demoted.Load() {
+		t.Fatal("resurrected stale leader was not demoted")
+	}
+	if rt.demotions.Value() != 1 {
+		t.Fatalf("router_demotions_total = %d, want 1", rt.demotions.Value())
+	}
+	// Once fenced (role now follower), further probes leave it alone.
+	rt.probeAll()
+	if rt.demotions.Value() != 1 {
+		t.Fatalf("fence repeated: %d demotions", rt.demotions.Value())
 	}
 }
 

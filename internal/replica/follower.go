@@ -38,6 +38,13 @@ type FollowerConfig struct {
 	// RetryInterval is the pause between reconnect attempts
 	// (default 500 ms).
 	RetryInterval time.Duration
+	// ReadTimeout bounds the silence the follower tolerates between
+	// leader frames before tearing the stream down and redialing. The
+	// leader heartbeats every 500 ms by default, so the default (10 s)
+	// is ~20 missed heartbeats: a silent partition (no RST ever
+	// arrives), not jitter. Without it a dead link would block the read
+	// forever while the follower kept reporting a live stream.
+	ReadTimeout time.Duration
 	// Metrics receives the replica_connection_* families. Nil registers
 	// into a private registry.
 	Metrics *metrics.Registry
@@ -51,6 +58,9 @@ func (c *FollowerConfig) fill() {
 	}
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
@@ -153,7 +163,7 @@ func (f *Follower) loop() {
 		if f.stopped() {
 			return
 		}
-		if errors.Is(err, ErrResumeTooOld) {
+		if errors.Is(err, ErrResumeTooOld) || errors.Is(err, ErrFollowerAhead) {
 			e := err
 			f.fatal.Store(&e)
 			f.cfg.Logger.Error("replication permanently stopped", "err", err)
@@ -199,9 +209,14 @@ func (f *Follower) run() error {
 	if err != nil {
 		return err
 	}
-	conn.SetReadDeadline(time.Time{})
 	if resume+1 < oldest {
 		return ErrResumeTooOld
+	}
+	if resume > head {
+		// The leader only reports (and ships) fsync-durable records, so
+		// being ahead of its head means the logs diverged; resuming
+		// would silently skip records.
+		return ErrFollowerAhead
 	}
 	f.connected.Store(true)
 	f.cfg.Logger.Info("replication stream established",
@@ -218,6 +233,12 @@ func (f *Follower) run() error {
 		return writeFrame(conn, frameAck, ackBuf)
 	}
 	for {
+		// Heartbeats arrive every Source.Heartbeat even when idle, so a
+		// read deadline several multiples beyond it only ever fires on a
+		// silent partition — without it this read blocks forever and the
+		// follower serves unboundedly stale reads while reporting a live
+		// stream.
+		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
 		typ, payload, nbuf, err := readFrame(conn, buf)
 		if err != nil {
 			return err

@@ -17,11 +17,21 @@
 //	heartbeat (2, leader→follower): u64 head | i64 sentUnixNano
 //	ack       (3, follower→leader): u64 lastApplied
 //
-// head is the leader's newest committed sequence number at send time;
-// together with the follower's applied position it defines replication
-// lag. resumeAfter is the follower's last durably applied sequence
-// number: the leader resumes the stream at the next record after it.
-// Every frame is CRC-verified; damage tears the connection down and the
+// head is the leader's newest *fsync-durable* sequence number at send
+// time (wal.SyncedSeq, not the in-memory tail); together with the
+// follower's applied position it defines replication lag. The source
+// never ships a record beyond head: a record that only exists in the
+// leader's page cache could be retracted by a power failure, and the
+// restarted leader would reuse its sequence number for a different
+// record — undetectable divergence on any follower that applied the
+// original. Shipping only durable records makes a follower ahead of the
+// leader's head impossible in a healthy pair, so both sides treat
+// resumeAfter > head at handshake as proof of divergence
+// (ErrFollowerAhead) rather than silently skipping records.
+//
+// resumeAfter is the follower's last durably applied sequence number:
+// the leader resumes the stream at the next record after it. Every
+// frame is CRC-verified; damage tears the connection down and the
 // follower reconnects from its acknowledged position, so corruption
 // costs a retry, never silent divergence.
 package replica
@@ -63,6 +73,15 @@ type Record struct {
 // state from the stream and must be re-seeded (fresh data dir, or a
 // copied snapshot set).
 var ErrResumeTooOld = errors.New("replica: leader truncated past resume position; follower must be re-seeded")
+
+// ErrFollowerAhead reports that the follower's durable position is past
+// the leader's durable head. The leader never ships unsynced records,
+// so this cannot happen in a healthy pair: it means the logs diverged —
+// typically a leader that crashed, lost its unsynced tail, restarted,
+// and rewrote those sequence numbers with different records, or a
+// follower pointed at the wrong leader. Resuming would silently skip
+// records, so the follower stops permanently and must be re-seeded.
+var ErrFollowerAhead = errors.New("replica: follower is ahead of the leader's durable head; logs have diverged — follower must be re-seeded")
 
 func writeHandshake(w io.Writer, resumeAfter uint64) error {
 	var buf [4 + 2 + 8]byte

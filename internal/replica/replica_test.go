@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -353,5 +354,143 @@ func TestApplyFailureTearsStreamAndRetries(t *testing.T) {
 	waitFor(t, 5*time.Second, "convergence after failures", func() bool {
 		_, applied, _ := app.snapshot()
 		return applied == 30
+	})
+}
+
+func TestOnlySyncedRecordsShip(t *testing.T) {
+	// Sync effectively disabled: appends land in the OS page cache only.
+	w, err := wal.Open(wal.Options{Dir: t.TempDir(), SyncEvery: 1 << 30, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte("unsynced")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w, Heartbeat: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	app := &memApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// Heartbeats flow (the stream is live) but nothing ships: a leader
+	// crash could still retract these records, so followers must not see
+	// them. Wait for a heartbeat to prove the stream is up, not racing.
+	waitFor(t, 5*time.Second, "heartbeat", func() bool {
+		app.mu.Lock()
+		defer app.mu.Unlock()
+		return !app.sentAt.IsZero()
+	})
+	time.Sleep(50 * time.Millisecond)
+	if n, applied, _ := app.snapshot(); n != 0 || applied != 0 {
+		t.Fatalf("unsynced records shipped: n=%d applied=%d", n, applied)
+	}
+	// The fsync publishes them.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "post-sync ship", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 10
+	})
+}
+
+func TestFollowerAheadIsFatal(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// A follower claiming seq 50 against a 5-record leader has a log the
+	// leader never wrote (e.g. the leader lost unsynced records in a
+	// crash and renumbered). Resuming would silently skip 6..50.
+	app := &memApplier{applied: 50}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app, RetryInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "fatal divergence stop", func() bool {
+		return errors.Is(fl.Err(), ErrFollowerAhead)
+	})
+}
+
+func TestPortScannerDoesNotPinFloor(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// A raw TCP connect that never handshakes (health check, scanner).
+	// It must not enter the ack floor with acked=0.
+	raw, err := net.Dial("tcp", src.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	app := &memApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{Applier: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "catch-up", func() bool {
+		_, applied, _ := app.snapshot()
+		return applied == 50
+	})
+	waitFor(t, 5*time.Second, "floor advance past silent conn", func() bool {
+		src.mu.Lock()
+		defer src.mu.Unlock()
+		return src.floor == 51
+	})
+}
+
+func TestSilentLeaderTearsStream(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	if _, err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A leader that never heartbeats models a silent partition: bytes
+	// stop, no FIN/RST ever arrives. The follower's read timeout must
+	// tear the stream down and redial instead of blocking forever.
+	src, err := NewSource("127.0.0.1:0", SourceConfig{WAL: w, Heartbeat: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	app := &memApplier{}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{
+		Applier:       app,
+		ReadTimeout:   50 * time.Millisecond,
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 10*time.Second, "repeated timeout reconnects", func() bool {
+		return fl.reconnects.Value() >= 3
 	})
 }

@@ -89,6 +89,7 @@ type Source struct {
 type srcConn struct {
 	c      net.Conn
 	acked  uint64 // guarded by Source.mu
+	ready  bool   // handshake completed; guarded by Source.mu
 	closed chan struct{}
 	once   sync.Once
 }
@@ -127,10 +128,16 @@ func NewSource(addr string, cfg SourceConfig) (*Source, error) {
 			acked:    reg.Gauge("replication_min_acked_seq", "Lowest follower-acknowledged WAL sequence number (the truncation retain floor)."),
 		},
 	}
-	reg.GaugeFunc("replication_followers", "Follower replicas currently attached.", func() float64 {
+	reg.GaugeFunc("replication_followers", "Follower replicas currently attached (handshake completed).", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return float64(len(s.conns))
+		n := 0
+		for c := range s.conns {
+			if c.ready {
+				n++
+			}
+		}
+		return float64(n)
 	})
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -191,15 +198,22 @@ func (s *Source) acceptLoop() {
 // noteAck records a follower's durable position and re-derives the WAL
 // retain floor (sticky: the floor never drops when followers detach, so
 // a briefly-disconnected replica can still resume after a snapshot).
+// Only handshake-completed connections participate in the floor: an
+// accepted-but-silent connection (a port scanner, a load balancer's TCP
+// check) has no resume position and must not pin truncation at zero.
 func (s *Source) noteAck(sc *srcConn, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc.ready = true
 	if seq > sc.acked {
 		sc.acked = seq
 	}
 	min := uint64(0)
 	first := true
 	for c := range s.conns {
+		if !c.ready {
+			continue
+		}
 		if first || c.acked < min {
 			min, first = c.acked, false
 		}
@@ -213,10 +227,15 @@ func (s *Source) noteAck(sc *srcConn, seq uint64) {
 }
 
 func (s *Source) serve(sc *srcConn) error {
-	head := func() uint64 { return s.cfg.WAL.NextSeq() - 1 }
+	// head is the durable (fsync-covered) tail, not the in-memory one:
+	// a record shipped before its fsync could be retracted by a leader
+	// power failure and its sequence number reused for different data —
+	// divergence no CRC would ever catch.
+	head := func() uint64 { return s.cfg.WAL.SyncedSeq() }
 
 	// Handshake: learn the follower's resume position, refuse positions
-	// truncation has already passed (the follower must be re-seeded).
+	// truncation has already passed (the follower must be re-seeded) and
+	// positions past our own durable head (the logs have diverged).
 	sc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
 	resume, err := readHandshake(sc.c)
 	if err != nil {
@@ -232,6 +251,9 @@ func (s *Source) serve(sc *srcConn) error {
 	}
 	if resume+1 < oldest {
 		return ErrResumeTooOld
+	}
+	if resume > head() {
+		return ErrFollowerAhead
 	}
 	s.cfg.Logger.Info("follower attached", "remote", sc.c.RemoteAddr(), "resume_after", resume)
 	s.noteAck(sc, resume)
@@ -290,6 +312,13 @@ func (s *Source) serve(sc *srcConn) error {
 		seqs     []uint64
 		recs     []Record
 		frameBuf []byte
+		// Durability gate: a record read past the durable head is parked
+		// here (copied — cursor payloads alias its buffer) until an fsync
+		// covers it. The WAL notifies watchers on sync as well as append,
+		// so the wait below wakes when the record becomes shippable.
+		pendSeq uint64
+		pendBuf []byte
+		pending bool
 	)
 	lastSeg := uint64(0)
 	for {
@@ -298,15 +327,26 @@ func (s *Source) serve(sc *srcConn) error {
 			return nil
 		default:
 		}
-		// Gather up to one frame's worth of records from the cursor.
+		// Gather up to one frame's worth of durable records.
+		durable := head()
 		data, offs, seqs = data[:0], offs[:0], seqs[:0]
-		for len(seqs) < s.cfg.BatchRecords && len(data) < s.cfg.BatchBytes {
+		if pending && pendSeq <= durable {
+			offs = append(offs, len(data))
+			data = append(data, pendBuf...)
+			seqs = append(seqs, pendSeq)
+			pending = false
+		}
+		for !pending && len(seqs) < s.cfg.BatchRecords && len(data) < s.cfg.BatchBytes {
 			seq, p, err := cur.Next()
 			if errors.Is(err, wal.ErrNoMore) {
 				break
 			}
 			if err != nil {
 				return err
+			}
+			if seq > durable {
+				pendSeq, pendBuf, pending = seq, append(pendBuf[:0], p...), true
+				break
 			}
 			offs = append(offs, len(data))
 			data = append(data, p...)

@@ -120,6 +120,14 @@ type WAL struct {
 	dirty    int // records written since last fsync
 	closed   bool
 
+	// syncedSeq is the newest sequence number covered by an fsync.
+	// Records above it exist only in the OS page cache: a power failure
+	// can still lose them, so replication must not ship them — a leader
+	// restart would reuse their sequence numbers for different records
+	// and silently diverge any follower that had already applied the
+	// originals.
+	syncedSeq uint64
+
 	// retainFloor, when non-zero, pins TruncateBefore: records with
 	// sequence numbers >= retainFloor are never truncated. Replication
 	// sets it to the lowest follower-acknowledged position so a snapshot
@@ -204,6 +212,9 @@ func Open(opts Options) (*WAL, error) {
 		}
 		w.f, w.segStart, w.size = f, last.firstSeq, res.validEnd
 	}
+	// Everything recovery can see is on disk; the new process's
+	// durability story starts exactly there.
+	w.syncedSeq = w.nextSeq - 1
 	go w.flusher()
 	return w, nil
 }
@@ -434,6 +445,7 @@ func (w *WAL) Sync() error {
 
 func (w *WAL) syncLocked() error {
 	if w.dirty == 0 {
+		w.syncedSeq = w.nextSeq - 1
 		return nil
 	}
 	start := time.Now()
@@ -443,6 +455,10 @@ func (w *WAL) syncLocked() error {
 	w.met.fsyncs.Inc()
 	w.met.fsyncSeconds.Observe(time.Since(start).Seconds())
 	w.dirty = 0
+	w.syncedSeq = w.nextSeq - 1
+	// Wake tailers: replication gates shipping on durability, so an
+	// fsync (not just an append) can make records shippable.
+	w.notifyLocked()
 	return nil
 }
 
@@ -476,6 +492,16 @@ func (w *WAL) NextSeq() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.nextSeq
+}
+
+// SyncedSeq returns the newest sequence number guaranteed durable by an
+// fsync. Appended-but-unsynced records are above it; replication ships
+// nothing beyond it, so a crash of this process can never retract a
+// record a follower already holds.
+func (w *WAL) SyncedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedSeq
 }
 
 // SkipTo raises the next sequence number to at least seq. Recovery uses

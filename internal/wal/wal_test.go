@@ -255,6 +255,47 @@ func TestGroupCommitSyncEvery(t *testing.T) {
 	}
 }
 
+// TestSyncedSeqTracksDurability pins the durability watermark semantics
+// replication depends on: SyncedSeq covers exactly the records an fsync
+// has reached — not appended-but-dirty ones — and reopening a log
+// starts the watermark at everything recovery could see.
+func TestSyncedSeqTracksDurability(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, Options{SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	if got := w.SyncedSeq(); got != 0 {
+		t.Fatalf("fresh SyncedSeq = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.SyncedSeq(); got != 0 {
+		t.Fatalf("SyncedSeq = %d with all records unsynced", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SyncedSeq(); got != 5 {
+		t.Fatalf("SyncedSeq = %d after Sync, want 5", got)
+	}
+	if _, err := w.Append([]byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SyncedSeq(); got != 5 {
+		t.Fatalf("SyncedSeq = %d after dirty append, want 5", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: recovery replays 6 records off disk, so all 6 are durable.
+	w2 := openTest(t, dir, Options{SyncEvery: 1 << 20, SyncInterval: time.Hour})
+	defer w2.Close()
+	if got := w2.SyncedSeq(); got != 6 {
+		t.Fatalf("reopened SyncedSeq = %d, want 6", got)
+	}
+}
+
 func TestEmptyDirOpen(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "wal")
 	w := openTest(t, dir, Options{})

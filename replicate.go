@@ -45,9 +45,13 @@ func (e *Engine) ReplicationResume() uint64 { return e.replApplied.Load() }
 // ObserveLeaderHead records the leader's newest committed sequence
 // number and the leader-side send time of the frame that carried it.
 // Part of replica.Applier; feeds the replica_lag_* gauges and Ready.
+// The local receipt time is recorded too: Ready uses it to detect a
+// silently dead stream, which freezes the observed head and would
+// otherwise read as zero lag forever.
 func (e *Engine) ObserveLeaderHead(head uint64, sentAt time.Time) {
 	e.leaderHead.Store(head)
 	e.leaderSent.Store(sentAt.UnixNano())
+	e.lastFrame.Store(time.Now().UnixNano())
 }
 
 // ApplyReplicated durably applies a batch of leader records: each is
@@ -66,8 +70,16 @@ func (e *Engine) ApplyReplicated(recs []replica.Record) error {
 		if r.Seq <= applied {
 			continue // duplicate delivery after a reconnect
 		}
-		if err := e.wal.AppendAt(r.Seq, r.Payload); err != nil {
-			return err
+		// A record below the WAL tail is already durable here from an
+		// earlier delivery whose in-memory apply failed transiently
+		// (e.g. ErrBusy on a full shard mailbox tore the stream down
+		// after AppendAt succeeded). Redelivery then only needs the
+		// apply: re-appending would fail AppendAt's monotonicity check
+		// forever and permanently wedge replication on reconnect.
+		if r.Seq >= e.wal.NextSeq() {
+			if err := e.wal.AppendAt(r.Seq, r.Payload); err != nil {
+				return err
+			}
 		}
 		if err := e.applyReplicatedRecord(r.Seq, r.Payload); err != nil {
 			return err
@@ -170,6 +182,9 @@ type ReplicationStatus struct {
 	LagRecords  uint64  `json:"lag_records"`
 	LagSeconds  float64 `json:"lag_seconds"`
 	ReadyMaxLag uint64  `json:"ready_max_lag,omitempty"`
+	// SilenceSeconds is how long ago the follower last heard any frame
+	// from its leader (0 until the first frame, and on leaders).
+	SilenceSeconds float64 `json:"silence_seconds,omitempty"`
 }
 
 // Replication reports the engine's replication role and lag.
@@ -182,6 +197,9 @@ func (e *Engine) Replication() ReplicationStatus {
 		st.LagRecords = e.lagRecords()
 		st.LagSeconds = e.lagSeconds()
 		st.ReadyMaxLag = e.readyMaxLag
+		if last := e.lastFrame.Load(); last != 0 {
+			st.SilenceSeconds = time.Since(time.Unix(0, last)).Seconds()
+		}
 	}
 	return st
 }
@@ -197,8 +215,9 @@ func (e *Engine) wallessApplied() uint64 {
 
 // Ready reports whether the engine should receive traffic: a leader is
 // ready once NewEngine has returned (recovery complete); a follower is
-// ready once it has heard from its leader and its lag is at most
-// EngineConfig.ReadyMaxLag records. The reason is empty when ready.
+// ready once it has heard from its leader, its lag is at most
+// EngineConfig.ReadyMaxLag records, and a leader frame has arrived
+// within EngineConfig.ReadyMaxSilence. The reason is empty when ready.
 func (e *Engine) Ready() (bool, string) {
 	if !e.follower.Load() {
 		return true, ""
@@ -208,6 +227,15 @@ func (e *Engine) Ready() (bool, string) {
 	}
 	if lag := e.lagRecords(); lag > e.readyMaxLag {
 		return false, fmt.Sprintf("replication lag %d records exceeds limit %d", lag, e.readyMaxLag)
+	}
+	// A dead stream freezes leaderHead, so the lag check above reads 0
+	// exactly when the replica is at its stalest. Silence — no frame, not
+	// even a heartbeat — is the signal that catches it.
+	if last := e.lastFrame.Load(); last != 0 {
+		if silence := time.Since(time.Unix(0, last)); silence > e.readyMaxSilence {
+			return false, fmt.Sprintf("no leader frame for %s (limit %s): leader dead or partitioned",
+				silence.Round(time.Millisecond), e.readyMaxSilence)
+		}
 	}
 	return true, ""
 }
@@ -234,6 +262,26 @@ func (e *Engine) Promote() {
 	for _, fn := range hooks {
 		fn()
 	}
+}
+
+// Demote turns a leader back into a write-refusing follower: Ingest,
+// IngestBatch and Retire fail with ErrNotLeader immediately. It is the
+// fencing half of failover — a routing tier (or operator) demotes a
+// suspect old leader before or after promoting a replacement, so a
+// resurrected process cannot keep accepting direct writes and fork the
+// log. A demoted engine has no replication client pulling from the new
+// leader; it also reports not-ready, keeping it out of read rotations
+// until it is restarted with -follow to rejoin the group as a real
+// replica. Idempotent; a no-op on an engine that is already a follower.
+func (e *Engine) Demote() {
+	if !e.follower.CompareAndSwap(false, true) {
+		return
+	}
+	// Seed the follower-side position from the leader-side one so
+	// Replication() and any later resume speak the WAL tail, not zero.
+	e.replApplied.Store(e.wallessApplied())
+	e.log.Warn("demoted: refusing writes until restarted as a follower",
+		"applied_seq", e.replApplied.Load())
 }
 
 // OnPromote registers fn to run when Promote fires (synchronously, in

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"orfdisk/internal/replica"
+	"orfdisk/internal/wal"
 )
 
 // waitUntil polls cond until it holds or the deadline passes.
@@ -294,6 +295,167 @@ func TestFollowerGatesWritesAndReadiness(t *testing.T) {
 	eng.OnPromote(func() { late++ })
 	if late != 1 {
 		t.Fatal("post-promotion OnPromote did not fire")
+	}
+}
+
+// leaderRecords ingests obs on a fresh leader engine and returns the
+// WAL records it produced, payloads copied (cursor buffers alias).
+func leaderRecords(t *testing.T, eng *Engine, obs []FleetObservation) []replica.Record {
+	t.Helper()
+	for _, o := range obs {
+		if _, err := eng.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := wal.OpenCursor(eng.WAL().Dir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var recs []replica.Record
+	for {
+		seq, p, err := cur.Next()
+		if errors.Is(err, wal.ErrNoMore) {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, replica.Record{Seq: seq, Payload: append([]byte(nil), p...)})
+	}
+}
+
+// TestApplyReplicatedRedeliveryConverges is the regression test for the
+// redelivery wedge: a transient apply failure could leave a record in
+// the follower's WAL but not in its shards, and the leader's redelivery
+// after reconnect used to hit AppendAt's monotonicity check forever.
+// Redelivered records already below the WAL tail must skip the append
+// and still run the in-memory apply.
+func TestApplyReplicatedRedeliveryConverges(t *testing.T) {
+	obs := engineStream(t, 9, 1)
+	if len(obs) > 6 {
+		obs = obs[:6]
+	}
+	leader, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	recs := leaderRecords(t, leader, obs)
+	if len(recs) < 4 {
+		t.Fatalf("leader produced only %d WAL records", len(recs))
+	}
+	split := len(recs) - 2
+
+	follower, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(), Follower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if err := follower.ApplyReplicated(recs[:split]); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the half-applied state a transient shard failure leaves
+	// behind: the tail records are durable in the follower's WAL, but the
+	// stream died before the in-memory apply, so replApplied lags NextSeq.
+	for _, r := range recs[split:] {
+		if err := follower.WAL().AppendAt(r.Seq, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := follower.ReplicationResume(); got != recs[split-1].Seq {
+		t.Fatalf("resume %d, want %d", got, recs[split-1].Seq)
+	}
+
+	// The leader redelivers from the acknowledged position — the full
+	// batch, duplicates included. Before the fix this failed forever on
+	// AppendAt("behind next sequence") for the already-appended tail.
+	if err := follower.ApplyReplicated(recs); err != nil {
+		t.Fatalf("redelivery after half-applied state: %v", err)
+	}
+	last := recs[len(recs)-1].Seq
+	if got := follower.ReplicationResume(); got != last {
+		t.Fatalf("resume %d after redelivery, want %d", got, last)
+	}
+	// The shards really applied the tail: learned state matches a leader
+	// that ingested the same stream directly.
+	want := fmt.Sprintf("%+v", leader.Stats())
+	if got := fmt.Sprintf("%+v", follower.Stats()); got != want {
+		t.Fatalf("stats diverged after redelivery:\nleader   %s\nfollower %s", want, got)
+	}
+}
+
+// TestFollowerNotReadyOnSilence: a dead stream freezes the observed
+// leader head, so lag reads zero exactly when the replica is stalest —
+// silence is what flips readiness off.
+func TestFollowerNotReadyOnSilence(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(),
+		Follower: true, ReadyMaxLag: 100, ReadyMaxSilence: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	eng.ObserveLeaderHead(0, time.Now())
+	if ok, reason := eng.Ready(); !ok {
+		t.Fatalf("fresh frame but not ready: %s", reason)
+	}
+	time.Sleep(80 * time.Millisecond)
+	ok, reason := eng.Ready()
+	if ok {
+		t.Fatal("ready despite silence past the limit")
+	}
+	if reason == "" {
+		t.Fatal("silence rejection carries no reason")
+	}
+	if st := eng.Replication(); st.SilenceSeconds <= 0 {
+		t.Fatalf("SilenceSeconds = %v, want > 0", st.SilenceSeconds)
+	}
+	// A new frame restores readiness.
+	eng.ObserveLeaderHead(0, time.Now())
+	if ok, reason := eng.Ready(); !ok {
+		t.Fatalf("not ready after stream resumed: %s", reason)
+	}
+}
+
+// TestDemoteFencesWrites: Demote is the fencing half of failover — an
+// old leader told to stand down refuses writes immediately and reports
+// the follower role, but keeps serving reads.
+func TestDemoteFencesWrites(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	obs := engineStream(t, 11, 1)[0]
+	if _, err := eng.Ingest(obs); err != nil {
+		t.Fatal(err)
+	}
+	applied := eng.WAL().NextSeq() - 1
+
+	eng.Demote()
+	eng.Demote() // idempotent
+	if _, err := eng.Ingest(obs); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Ingest after Demote: %v, want ErrNotLeader", err)
+	}
+	st := eng.Replication()
+	if st.Role != "follower" {
+		t.Fatalf("role after Demote: %q", st.Role)
+	}
+	if st.Applied != applied {
+		t.Fatalf("applied position reset by Demote: %d, want %d", st.Applied, applied)
+	}
+	// Promote undoes the fence (an operator decided it really is leader).
+	eng.Promote()
+	if _, err := eng.Ingest(obs); err != nil {
+		t.Fatalf("Ingest after re-Promote: %v", err)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 //	GET  /v1/importance?model=M -> ranked feature importance
 //	GET  /v1/replication    -> {role, applied_seq, lag_records, lag_seconds, ...}
 //	POST /v1/promote        promote a follower replica to leader (idempotent)
+//	POST /v1/demote         fence this instance: stop accepting writes (idempotent)
 //	GET  /healthz           -> 200 ok (process is up)
 //	GET  /readyz            -> 200 ready, or 503 {"error": reason} while a
 //	                           follower's replication lag exceeds its limit
@@ -216,6 +217,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, http.MethodGet, "/v1/importance", s.handleImportance)
 	s.handle(mux, http.MethodGet, "/v1/replication", s.handleReplication)
 	s.handle(mux, http.MethodPost, "/v1/promote", s.handlePromote)
+	s.handle(mux, http.MethodPost, "/v1/demote", s.handleDemote)
 	s.handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -337,6 +339,15 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 // or an operator — is responsible for fencing the old leader first.
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	s.eng.Promote()
+	writeJSON(w, s.eng.Replication())
+}
+
+// handleDemote fences this instance: it refuses writes immediately and
+// reports not-ready until restarted as a real follower. The routing
+// tier calls it on a suspect old leader around a promotion so a
+// resurrected process cannot fork the log with direct writes.
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	s.eng.Demote()
 	writeJSON(w, s.eng.Replication())
 }
 
