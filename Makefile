@@ -42,16 +42,29 @@ bench-ingest:
 # measure the end-to-end model and engine paths (idle and under
 # concurrent ingest). Separate output file so refreshing one baseline
 # never clobbers the other.
-PREDICT_BENCH = BenchmarkScoreFrozen|BenchmarkPredictScore|BenchmarkEngineScore
+PREDICT_BENCH = BenchmarkScoreFrozen|BenchmarkRefreeze|BenchmarkPredictScore|BenchmarkEngineScore
+
+# The mode-split benchmarks (batch-size sweep, refreeze cost) prefix
+# their sub-names with the forest-size regime they ran in (full/, or
+# smoke/ under -short). bench-predict records BOTH regimes into
+# BENCH_predict.json — the full numbers are the headline baseline, the
+# smoke numbers exist so bench-predict-smoke can gate a cheap -short
+# re-run against entries measured on the same forest size.
+PREDICT_BATCH_BENCH = BenchmarkScoreFrozenBatch|BenchmarkRefreeze|BenchmarkPredictScoreBatch|BenchmarkEngineScoreBatch
 
 bench-predict:
-	$(GO) test ./internal/core . -run '^$$' -bench '$(PREDICT_BENCH)' -benchmem -count=5 -benchtime=1s -timeout 30m \
+	( $(GO) test ./internal/core . -run '^$$' -bench '$(PREDICT_BENCH)' -benchmem -count=5 -benchtime=1s -timeout 30m && \
+	  $(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BATCH_BENCH)' -benchmem -count=5 -benchtime=1s -timeout 30m ) \
 		| $(GO) run ./cmd/benchjson -o BENCH_predict.json
 
-# One-iteration smoke of the read-path benchmarks (-short shrinks the
-# grown forests): proves they compile and run, measures nothing.
+# Read-path smoke: a one-iteration pass proves every benchmark still
+# compiles and runs, then the mode-split batch benchmarks re-measure in
+# the smoke regime and gate against the committed baseline's /smoke/
+# entries — >25% ns/op (or any allocs/op) regression fails the build.
 bench-predict-smoke:
 	$(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BENCH)' -benchtime=1x
+	$(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BATCH_BENCH)' -benchmem -count=3 -benchtime=1s -timeout 15m \
+		| $(GO) run ./cmd/benchjson -check BENCH_predict.json -match '/smoke/' -tol 0.25
 
 # Replication-path perf baseline: live-tail shipping throughput and the
 # cold-follower catch-up (restart / re-seed) path, recorded in

@@ -4,6 +4,7 @@
 package orfdisk
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,6 +12,16 @@ import (
 	"orfdisk/internal/dataset"
 	"orfdisk/internal/smart"
 )
+
+// benchMode names the forest-size regime a mode-split benchmark ran in
+// ("full" or, under -short, "smoke"), so BENCH_predict.json can hold
+// baselines for both and the smoke gate compares like for like.
+func benchMode() string {
+	if testing.Short() {
+		return "smoke"
+	}
+	return "full"
+}
 
 // predictBench caches one substantially grown predictor for the scoring
 // benchmarks: the fleet stream and the ingest that grows the forest run
@@ -148,6 +159,36 @@ func BenchmarkPredictScore(b *testing.B) {
 	})
 }
 
+// BenchmarkPredictScoreBatch runs the same probes through the
+// snapshot's block-scoring path. ns/op is per SAMPLE (each iteration
+// retires `size` samples), directly comparable to
+// BenchmarkPredictScore/frozen; the probe window rotates so successive
+// batches score fresh vectors, as a fleet sweep would.
+func BenchmarkPredictScoreBatch(b *testing.B) {
+	predictBenchSetup(b)
+	fm := predictBench.fm
+	probes := predictBench.probes
+	mode := benchMode()
+	for _, size := range []int{64, 256} {
+		b.Run(mode+"/batch-"+strconv.Itoa(size), func(b *testing.B) {
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done, off := 0, 0; done < b.N; done += size {
+				if off+size > len(probes) {
+					off = 0
+				}
+				var err error
+				dst, err = fm.ScoreBatchInto(dst, probes[off:off+size])
+				if err != nil {
+					b.Fatal(err)
+				}
+				off += size
+			}
+		})
+	}
+}
+
 // engineBench caches one pre-grown engine per sub-benchmark: the
 // testing package re-invokes each b.Run closure for every calibration
 // pass and -count repetition, and re-ingesting the full stream each
@@ -232,4 +273,33 @@ func BenchmarkEngineScore(b *testing.B) {
 		stop.Store(true)
 		<-done
 	})
+}
+
+// BenchmarkEngineScoreBatch measures the engine's read path at batch
+// shape: gather/validate, one pass through the snapshot's block kernel,
+// scatter. ns/op is per SAMPLE, comparable to BenchmarkEngineScore.
+func BenchmarkEngineScoreBatch(b *testing.B) {
+	predictBenchSetup(b)
+	probes := predictBench.probes
+	engineBench.idleOnce.Do(func() { engineBench.idle = benchEngine(b) })
+	eng := engineBench.idle
+	mode := benchMode()
+	for _, size := range []int{64, 256} {
+		b.Run(mode+"/batch-"+strconv.Itoa(size), func(b *testing.B) {
+			dst := make([]ScoreResult, 0, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done, off := 0, 0; done < b.N; done += size {
+				if off+size > len(probes) {
+					off = 0
+				}
+				var err error
+				dst, err = eng.ScoreBatch("BENCH", probes[off:off+size], dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				off += size
+			}
+		})
+	}
 }

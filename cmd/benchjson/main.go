@@ -8,6 +8,15 @@
 // bench-predict` records the read-path baseline in BENCH_predict.json.
 //
 //	go test . -run '^$' -bench Ingest -benchmem -count=5 | benchjson -o BENCH_ingest.json
+//
+// With -check it becomes a regression gate instead of a recorder: the
+// fresh results on stdin are compared against the committed baseline
+// and the exit status is non-zero when any compared benchmark runs more
+// than -tol slower (ns/op) or allocates more than the baseline. -match
+// restricts the comparison to a name subset (e.g. the '/smoke/' mode
+// entries recorded on the same forest size the smoke run uses):
+//
+//	go test ... -short -bench ... | benchjson -check BENCH_predict.json -match '/smoke/' -tol 0.25
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +48,9 @@ var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	check := flag.String("check", "", "baseline JSON to gate against instead of recording")
+	match := flag.String("match", "", "regexp restricting which benchmarks -check compares")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression in -check mode")
 	flag.Parse()
 
 	raw := map[string][]result{}
@@ -106,6 +119,10 @@ func main() {
 		merged[stripCPU(name, raw)] = min
 	}
 
+	if *check != "" {
+		os.Exit(gate(merged, *check, *match, *tol))
+	}
+
 	buf, err := json.MarshalIndent(merged, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -121,6 +138,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(merged), *out)
+}
+
+// gate compares fresh results against a committed baseline and returns
+// the process exit code: 1 on any ns/op regression beyond tol, any
+// allocs/op increase, or an empty comparison (a renamed benchmark or a
+// too-narrow -match must fail loudly, not gate nothing). Benchmarks
+// present on one side only are warned about but don't fail the gate —
+// the baseline legitimately lags when a benchmark is first added.
+func gate(fresh map[string]result, baselinePath, match string, tol float64) int {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	baseline := map[string]result{}
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	var sel *regexp.Regexp
+	if match != "" {
+		if sel, err = regexp.Compile(match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if sel == nil || sel.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	compared, failed := 0, 0
+	for _, name := range names {
+		got := fresh[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline %s (record it with make bench-predict)\n",
+				name, baselinePath)
+			continue
+		}
+		compared++
+		limit := base.NsPerOp * (1 + tol)
+		switch {
+		case got.NsPerOp > limit:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f ns/op, baseline %.0f (limit %.0f at tol %.2f)\n",
+				name, got.NsPerOp, base.NsPerOp, limit, tol)
+			failed++
+		case got.AllocsPerOp > base.AllocsPerOp:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f allocs/op, baseline %.0f\n",
+				name, got.AllocsPerOp, base.AllocsPerOp)
+			failed++
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.0f ns/op vs baseline %.0f\n",
+				name, got.NsPerOp, base.NsPerOp)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: nothing compared against %s (match %q)\n", baselinePath, match)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d compared benchmarks regressed\n", failed, compared)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n", compared, tol*100, baselinePath)
+	return 0
 }
 
 // stripCPU removes the testing package's GOMAXPROCS suffix, but only

@@ -57,8 +57,10 @@ type Engine struct {
 
 	// scratch recycles IngestBatch's grouping state (maps and index
 	// slices) across calls; the per-call result slice still allocates
-	// because it is handed to the caller.
-	scratch sync.Pool
+	// because it is handed to the caller. scoreScratch does the same for
+	// ScoreBatch's gather/scatter state (see predict.go).
+	scratch      sync.Pool
+	scoreScratch sync.Pool
 
 	// recovered seeds the shard factory during and after startup
 	// recovery; read-only once NewEngine returns.

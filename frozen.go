@@ -29,22 +29,52 @@ type FrozenModel struct {
 	posSeen   int64
 	frozenAt  time.Time
 
-	// scratch recycles the per-call projection buffer across all of one
-	// predictor's snapshots, so steady-state Score allocates nothing.
+	// scratch recycles the per-call projection buffer, and batch the
+	// per-call block-projection matrix, across all of one predictor's
+	// snapshots, so steady-state scoring allocates nothing.
 	scratch *sync.Pool
+	batch   *sync.Pool
 }
+
+// projScratch is the pooled block-projection matrix ScoreBatchInto
+// stages scaled features in: core.BatchBlock rows over one flat backing
+// array, matching the forest kernel's block width.
+type projScratch struct {
+	flat []float64
+	rows [][]float64
+}
+
+func newProjScratch(dim int) *projScratch {
+	s := &projScratch{
+		flat: make([]float64, core.BatchBlock*dim),
+		rows: make([][]float64, core.BatchBlock),
+	}
+	for i := range s.rows {
+		s.rows[i] = s.flat[i*dim : (i+1)*dim]
+	}
+	return s
+}
+
+// dim returns the per-row projection width the scratch was built for.
+func (s *projScratch) dim() int { return len(s.flat) / core.BatchBlock }
 
 // Freeze captures the predictor's current scoring state as an immutable
 // snapshot and publishes it (see Frozen). Like Stats, Freeze must not
 // run concurrently with Ingest — call it from whatever context owns the
 // predictor (the engine calls it on the model's shard worker).
 func (p *Predictor) Freeze() *FrozenModel {
-	if p.scorePool == nil {
-		dim := len(p.features)
+	// The pools are shared across snapshots, so their buffer dimension
+	// is revalidated on every freeze: a predictor whose feature
+	// selection disagrees with the pooled buffers (e.g. state restored
+	// over a live instance) gets fresh pools instead of snapshots that
+	// silently score a truncated projection.
+	if dim := len(p.features); p.scorePool == nil || p.scorePoolDim != dim {
+		p.scorePoolDim = dim
 		p.scorePool = &sync.Pool{New: func() any {
 			buf := make([]float64, dim)
 			return &buf
 		}}
+		p.batchPool = &sync.Pool{New: func() any { return newProjScratch(dim) }}
 	}
 	fm := &FrozenModel{
 		features:  p.features,
@@ -54,6 +84,7 @@ func (p *Predictor) Freeze() *FrozenModel {
 		posSeen:   p.forest.PosSeen(),
 		frozenAt:  time.Now(),
 		scratch:   p.scorePool,
+		batch:     p.batchPool,
 	}
 	p.frozen.Store(fm)
 	return fm
@@ -73,19 +104,32 @@ func (fm *FrozenModel) Score(values []float64) (float64, error) {
 		return 0, fmt.Errorf("orfdisk: %d values, want %d", len(values), smart.NumFeatures())
 	}
 	bp := fm.scratch.Get().(*[]float64)
+	defer fm.scratch.Put(bp)
 	x := *bp
+	if len(x) != len(fm.features) {
+		// A pooled buffer from a different feature selection: resize
+		// rather than score a truncated (or over-long) projection.
+		x = make([]float64, len(fm.features))
+		*bp = x
+	}
 	for i, j := range fm.features {
 		x[i] = fm.scaler.TransformOne(i, values[j])
 	}
-	score := fm.forest.Score(x)
-	fm.scratch.Put(bp)
-	return score, nil
+	return fm.forest.Score(x)
 }
 
 // ScoreBatchInto scores every catalog vector of X into dst (grown or
 // truncated to len(X)) and returns dst; a recycled dst makes repeated
 // batch scoring allocation-free. The whole batch is validated upfront —
 // on error nothing is scored.
+//
+// Scores are bit-identical to calling Score per vector, but the work is
+// batch-shaped end to end: vectors are projected and scaled a block at
+// a time, feature-major, into a pooled block matrix (the scaler's
+// per-feature range loads hoist out of the sample loop), and each block
+// runs through the frozen forest's batch kernel, which streams every
+// tree's node records through cache once per block instead of once per
+// sample.
 func (fm *FrozenModel) ScoreBatchInto(dst []float64, X [][]float64) ([]float64, error) {
 	for i := range X {
 		if len(X[i]) != smart.NumFeatures() {
@@ -98,15 +142,34 @@ func (fm *FrozenModel) ScoreBatchInto(dst []float64, X [][]float64) ([]float64, 
 	} else {
 		dst = dst[:len(X)]
 	}
-	bp := fm.scratch.Get().(*[]float64)
-	x := *bp
-	for k, values := range X {
-		for i, j := range fm.features {
-			x[i] = fm.scaler.TransformOne(i, values[j])
-		}
-		dst[k] = fm.forest.Score(x)
+	if len(X) == 0 {
+		return dst, nil
 	}
-	fm.scratch.Put(bp)
+	sb := fm.batch.Get().(*projScratch)
+	defer fm.batch.Put(sb)
+	dim := len(fm.features)
+	if sb.dim() != dim {
+		// Pooled matrix from a different feature selection (see Score).
+		*sb = *newProjScratch(dim)
+	}
+	for base := 0; base < len(X); base += core.BatchBlock {
+		n := min(core.BatchBlock, len(X)-base)
+		blk := X[base : base+n]
+		rows := sb.rows[:n]
+		// Feature-major projection: the scaler's min/max for feature i
+		// load once per block, not once per sample, and TransformOne
+		// keeps the arithmetic bit-identical to the slice-at-a-time
+		// live path.
+		for i, j := range fm.features {
+			for s, values := range blk {
+				rows[s][i] = fm.scaler.TransformOne(i, values[j])
+			}
+		}
+		// Full-capacity subslice: the kernel fills it in place.
+		if _, err := fm.forest.ScoreBatchInto(dst[base:base+n:base+n], rows); err != nil {
+			return dst, err
+		}
+	}
 	return dst, nil
 }
 

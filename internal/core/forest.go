@@ -36,6 +36,16 @@ type Forest struct {
 	// allocating a one-element slice per call.
 	x1 [1][]float64
 	y1 [1]int
+
+	// Freeze state (see frozen.go). lastFrozen is the previous snapshot,
+	// the splice source for trees whose dirty bit is still clear; the
+	// freeze* slices are flattening scratch reused across trees and
+	// across refreezes, since incremental refreeze makes Freeze a
+	// steady-state hot path.
+	lastFrozen  *FrozenForest
+	freezePos   []int32
+	freezeOrder []int32
+	freezeStack []int32
 }
 
 // New creates an empty forest for dim-dimensional inputs.

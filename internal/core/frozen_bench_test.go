@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -91,4 +92,89 @@ func BenchmarkScoreFrozen(b *testing.B) {
 			}
 		})
 	})
+}
+
+// benchMode names the forest-size regime a benchmark ran in, so the
+// committed BENCH_predict.json can hold both and the smoke gate
+// (make bench-predict-smoke, which runs -short) compares like for like.
+func benchMode() string {
+	if testing.Short() {
+		return "smoke"
+	}
+	return "full"
+}
+
+// BenchmarkScoreFrozenBatch sweeps the level-synchronous batch kernel
+// across batch sizes. ns/op is per SAMPLE (the loop retires `size`
+// samples per iteration), directly comparable to BenchmarkScoreFrozen's
+// single-sample frozen number; the headline claim is the batch=64+
+// rows running ≥4× faster than that baseline at 0 allocs/op.
+func BenchmarkScoreFrozenBatch(b *testing.B) {
+	walkBench.once.Do(func() {
+		updates := 400000
+		if testing.Short() {
+			updates = 40000
+		}
+		walkBench.f, walkBench.probes = deepBenchForest(b, updates)
+		walkBench.fz = walkBench.f.Freeze()
+	})
+	fz, probes := walkBench.fz, walkBench.probes
+	mode := benchMode()
+	for _, size := range []int{16, 64, 256, 1024} {
+		b.Run(mode+"/batch-"+strconv.Itoa(size), func(b *testing.B) {
+			dst := make([]float64, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done, off := 0, 0; done < b.N; done += size {
+				// Rotate the probe window so successive iterations do not
+				// replay one cached batch.
+				if off+size > len(probes) {
+					off = 0
+				}
+				var err error
+				dst, err = fz.ScoreBatchInto(dst, probes[off:off+size])
+				if err != nil {
+					b.Fatal(err)
+				}
+				off += size
+			}
+		})
+	}
+}
+
+// BenchmarkRefreeze measures Forest.Freeze republish cost as a function
+// of how many trees went dirty since the previous snapshot — the
+// incremental-refreeze contract is cost proportional to dirty trees,
+// with dirty-0 collapsing to a header copy.
+func BenchmarkRefreeze(b *testing.B) {
+	walkBench.once.Do(func() {
+		updates := 400000
+		if testing.Short() {
+			updates = 40000
+		}
+		walkBench.f, walkBench.probes = deepBenchForest(b, updates)
+		walkBench.fz = walkBench.f.Freeze()
+	})
+	f := walkBench.f
+	mode := benchMode()
+	b.Run(mode+"/full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.lastFrozen = nil // force a from-scratch flatten
+			f.Freeze()
+		}
+	})
+	for _, dirty := range []int{0, 1, 4, 15, len(f.trees)} {
+		b.Run(mode+"/dirty-"+strconv.Itoa(dirty), func(b *testing.B) {
+			f.Freeze() // establish a clean previous snapshot
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < dirty; t++ {
+					f.trees[t].dirty = true
+				}
+				f.Freeze()
+			}
+		})
+	}
 }

@@ -115,6 +115,7 @@ func updateTrees(trees []*onlineTree, X [][]float64, Y []int, cfg Config) {
 					t.update(x, Y[i])
 				}
 				t.age++
+				t.dirty = true // leaf stats (at least) moved; refreeze must re-flatten
 				continue
 			}
 			t.updateOOBE(x, Y[i])

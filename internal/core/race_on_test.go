@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-count tests skip under -race: instrumentation charges
+// bookkeeping allocations to the measured function.
+const raceEnabled = true

@@ -195,7 +195,9 @@ func ReadForest(src io.Reader) (*Forest, error) {
 }
 
 func readTree(r *reader, cfg Config, dim int) (*onlineTree, error) {
-	t := &onlineTree{cfg: cfg, dim: dim}
+	// Restored structure has never been frozen by this Forest: dirty so
+	// the first incremental Freeze re-flattens it.
+	t := &onlineTree{cfg: cfg, dim: dim, dirty: true}
 	t.age = int(r.i64())
 	t.oobErrNeg = r.f64()
 	t.oobErrPos = r.f64()

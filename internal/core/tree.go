@@ -54,6 +54,11 @@ type onlineTree struct {
 
 	// age counts update events (k > 0 arrivals) since (re)birth.
 	age int
+	// dirty marks structure or leaf statistics mutated since the last
+	// Forest.Freeze: set on every k > 0 arrival and on reset, cleared
+	// when the tree is re-flattened. OOBE refreshes do not set it — they
+	// influence replacement decisions, never frozen output.
+	dirty bool
 	// Discounted per-class out-of-bag error estimates. Keeping them per
 	// class stops the negative flood from masking positive-class decay.
 	oobErrNeg, oobErrPos   float64
@@ -61,7 +66,7 @@ type onlineTree struct {
 }
 
 func newOnlineTree(cfg Config, dim int, r *rng.Source) *onlineTree {
-	t := &onlineTree{cfg: cfg, r: r, dim: dim}
+	t := &onlineTree{cfg: cfg, r: r, dim: dim, dirty: true}
 	t.nodes = append(t.nodes, oNode{feature: -1})
 	return t
 }
@@ -71,6 +76,7 @@ func (t *onlineTree) reset() {
 	t.nodes = t.nodes[:0]
 	t.nodes = append(t.nodes, oNode{feature: -1})
 	t.age = 0
+	t.dirty = true
 	t.oobErrNeg, t.oobErrPos = 0, 0
 	t.oobSeenNeg, t.oobSeenPos = false, false
 }

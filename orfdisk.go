@@ -108,9 +108,13 @@ type Predictor struct {
 	relY      []int
 
 	// Read-path snapshot state (see Freeze/Frozen): the last published
-	// FrozenModel and the scratch-buffer pool its snapshots share.
-	frozen    atomic.Pointer[FrozenModel]
-	scorePool *sync.Pool
+	// FrozenModel and the scratch pools its snapshots share. The pools
+	// are rebuilt whenever scorePoolDim disagrees with len(features), so
+	// snapshots never score through a wrong-width pooled buffer.
+	frozen       atomic.Pointer[FrozenModel]
+	scorePool    *sync.Pool
+	scorePoolDim int
+	batchPool    *sync.Pool
 }
 
 // NewPredictor creates a Predictor.

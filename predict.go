@@ -94,11 +94,26 @@ func (e *Engine) Score(model string, values []float64) (ScoreResult, error) {
 	}, nil
 }
 
+// scoreBatchScratch recycles ScoreBatch's gather/scatter state: the
+// valid-vector view handed to the batch kernel, the kernel's output
+// buffer, and the valid->caller index map.
+type scoreBatchScratch struct {
+	X   [][]float64
+	out []float64
+	idx []int
+}
+
 // ScoreBatch scores many vectors against one published snapshot (all
 // results are mutually consistent), filling dst (grown or truncated to
 // len(X)) so steady-state callers allocate nothing. Each vector
 // succeeds or fails alone via its result's Err; the call errors only
 // when the model has no snapshot.
+//
+// Valid vectors run through the snapshot's block-scoring kernel
+// (FrozenModel.ScoreBatchInto) rather than one scalar walk per item:
+// invalid vectors are failed in place, the rest are gathered into a
+// pooled scratch, batch-scored, and scattered back — bit-identical to
+// scoring each vector alone, at batch throughput.
 func (e *Engine) ScoreBatch(model string, X [][]float64, dst []ScoreResult) ([]ScoreResult, error) {
 	start := time.Now()
 	fm, behind, ok := e.Frozen(model)
@@ -111,16 +126,47 @@ func (e *Engine) ScoreBatch(model string, X [][]float64, dst []ScoreResult) ([]S
 		dst = dst[:len(X)]
 	}
 	age := start.Sub(fm.FrozenAt())
+	sc, _ := e.scoreScratch.Get().(*scoreBatchScratch)
+	if sc == nil {
+		sc = &scoreBatchScratch{}
+	}
+	sc.X, sc.idx = sc.X[:0], sc.idx[:0]
+	want := CatalogSize()
 	for i, values := range X {
-		score, err := fm.Score(values)
-		dst[i] = ScoreResult{
-			Score:         score,
-			Risky:         err == nil && fm.Risky(score),
-			UpdatesBehind: behind,
-			SnapshotAge:   age,
-			Err:           err,
+		if len(values) != want {
+			dst[i] = ScoreResult{
+				UpdatesBehind: behind,
+				SnapshotAge:   age,
+				Err:           fmt.Errorf("orfdisk: %d values, want %d", len(values), want),
+			}
+			continue
+		}
+		sc.X = append(sc.X, values)
+		sc.idx = append(sc.idx, i)
+	}
+	var err error
+	sc.out, err = fm.ScoreBatchInto(sc.out, sc.X)
+	if err != nil {
+		// Pre-validated vectors can only fail on a corrupt snapshot
+		// (forest/feature dimension divergence); fail them all alike.
+		for _, i := range sc.idx {
+			dst[i] = ScoreResult{UpdatesBehind: behind, SnapshotAge: age, Err: err}
+		}
+	} else {
+		for k, i := range sc.idx {
+			score := sc.out[k]
+			dst[i] = ScoreResult{
+				Score:         score,
+				Risky:         fm.Risky(score),
+				UpdatesBehind: behind,
+				SnapshotAge:   age,
+			}
 		}
 	}
+	for i := range sc.X {
+		sc.X[i] = nil // don't pin caller vectors in the pool
+	}
+	e.scoreScratch.Put(sc)
 	e.met.predictRequests.Inc()
 	e.met.predictSeconds.Observe(time.Since(start).Seconds())
 	return dst, nil

@@ -73,6 +73,193 @@ func TestFreezeMatchesPredictorScore(t *testing.T) {
 	}
 }
 
+// TestFrozenModelBatchAcrossBlocks sweeps batch sizes straddling the
+// kernel's block width, recycling one dst across sizes so both the
+// grow and truncate paths run: every batch score must be bit-identical
+// to the scalar path.
+func TestFrozenModelBatchAcrossBlocks(t *testing.T) {
+	obs := engineStream(t, 111, 1)
+	p := NewPredictor(engineTestConfig())
+	for _, o := range obs[:800] {
+		p.Ingest(o.Observation) //nolint:errcheck
+	}
+	fm := p.Freeze()
+	var dst []float64
+	for _, n := range []int{200, 0, 1, 63, 64, 65} {
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = catalogVector(i + n)
+		}
+		var err error
+		dst, err = fm.ScoreBatchInto(dst, X)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(dst) != n {
+			t.Fatalf("n=%d: got %d scores", n, len(dst))
+		}
+		for i := range X {
+			want, err := fm.Score(X[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("n=%d item %d: batch %v, scalar %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestScoreScratchDimensionGuards poisons the snapshot's pooled scratch
+// with wrong-dimension buffers (what a pool shared across an incompatible
+// restore would hand out): the score paths must detect the mismatch and
+// resize rather than score a truncated projection.
+func TestScoreScratchDimensionGuards(t *testing.T) {
+	obs := engineStream(t, 121, 1)
+	p := NewPredictor(engineTestConfig())
+	for _, o := range obs[:500] {
+		p.Ingest(o.Observation) //nolint:errcheck
+	}
+	fm := p.Freeze()
+	probe := catalogVector(9)
+	want, err := fm.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := make([]float64, 2)
+	fm.scratch.Put(&short)
+	long := make([]float64, len(fm.features)+5)
+	fm.scratch.Put(&long)
+	for k := 0; k < 4; k++ { // drain past both poisoned buffers
+		got, err := fm.Score(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("poisoned scratch round %d: %v, want %v", k, got, want)
+		}
+	}
+
+	fm.batch.Put(newProjScratch(2))
+	fm.batch.Put(newProjScratch(len(fm.features) + 3))
+	X := [][]float64{catalogVector(1), catalogVector(2), catalogVector(3)}
+	for k := 0; k < 4; k++ {
+		scores, err := fm.ScoreBatchInto(nil, X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range X {
+			w, _ := fm.Score(X[i])
+			if math.Float64bits(scores[i]) != math.Float64bits(w) {
+				t.Fatalf("poisoned batch scratch round %d item %d: %v, want %v", k, i, scores[i], w)
+			}
+		}
+	}
+}
+
+// TestFreezeRebuildsStalePools pins the Freeze-site guard: when the
+// predictor's pooled-buffer dimension disagrees with its feature
+// selection (state restored over a live instance), Freeze must rebuild
+// the pools instead of publishing snapshots that score through
+// wrong-width buffers.
+func TestFreezeRebuildsStalePools(t *testing.T) {
+	obs := engineStream(t, 131, 1)
+	p := NewPredictor(engineTestConfig())
+	for _, o := range obs[:500] {
+		p.Ingest(o.Observation) //nolint:errcheck
+	}
+	probe := catalogVector(5)
+	want, err := p.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the divergence: pools sized for a different selection.
+	stale := &sync.Pool{New: func() any {
+		buf := make([]float64, 2)
+		return &buf
+	}}
+	p.scorePool = stale
+	p.scorePoolDim = 2
+	p.batchPool = &sync.Pool{New: func() any { return newProjScratch(2) }}
+
+	fm := p.Freeze()
+	if p.scorePoolDim != len(p.features) {
+		t.Fatalf("Freeze left scorePoolDim at %d, features are %d wide",
+			p.scorePoolDim, len(p.features))
+	}
+	if p.scorePool == stale {
+		t.Fatal("Freeze kept the stale score pool")
+	}
+	got, err := fm.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("snapshot from rebuilt pools scored %v, want %v", got, want)
+	}
+	scores, err := fm.ScoreBatchInto(nil, [][]float64{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(scores[0]) != math.Float64bits(want) {
+		t.Fatalf("batch through rebuilt pools scored %v, want %v", scores[0], want)
+	}
+}
+
+// TestEngineScoreBatchMatchesScalar runs a multi-block batch with
+// invalid vectors interleaved through it: valid items must match
+// Engine.Score bit-for-bit (same snapshot), invalid items must fail
+// alone in place.
+func TestEngineScoreBatchMatchesScalar(t *testing.T) {
+	obs := engineStream(t, 141, 1)
+	eng, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), FreezeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, o := range obs[:300] {
+		eng.Ingest(o) //nolint:errcheck
+	}
+	model := eng.Models()[0]
+	const n = 150
+	X := make([][]float64, n)
+	bad := map[int]bool{0: true, 64: true, 100: true, n - 1: true}
+	for i := range X {
+		if bad[i] {
+			X[i] = []float64{1, 2}
+		} else {
+			X[i] = catalogVector(i)
+		}
+	}
+	res, err := eng.ScoreBatch(model, X, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if bad[i] {
+			if res[i].Err == nil {
+				t.Fatalf("invalid item %d did not fail", i)
+			}
+			continue
+		}
+		if res[i].Err != nil {
+			t.Fatalf("valid item %d failed: %v", i, res[i].Err)
+		}
+		single, err := eng.Score(model, X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res[i].Score) != math.Float64bits(single.Score) {
+			t.Fatalf("item %d: batch %v, scalar %v", i, res[i].Score, single.Score)
+		}
+		if res[i].Risky != single.Risky {
+			t.Fatalf("item %d: Risky divergence", i)
+		}
+	}
+}
+
 // TestEngineScoreMatchesFleet drives an engine with per-observation
 // snapshot publication (FreezeEvery=1) next to a shadow fleet fed the
 // same stream: Engine.Score must reproduce the shadow predictor's Score
@@ -295,6 +482,20 @@ func TestScoreAllocations(t *testing.T) {
 	}); allocs != 0 {
 		t.Errorf("FrozenModel.Score allocates %v per call", allocs)
 	}
+	batchX := make([][]float64, 80) // straddles a kernel block boundary
+	for i := range batchX {
+		batchX[i] = catalogVector(i)
+	}
+	batchDst := make([]float64, len(batchX))
+	if allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		batchDst, err = fm.ScoreBatchInto(batchDst, batchX)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("FrozenModel.ScoreBatchInto allocates %v per call", allocs)
+	}
 
 	eng, err := NewEngine(EngineConfig{Predictor: cfg})
 	if err != nil {
@@ -322,5 +523,19 @@ func TestScoreAllocations(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("Engine.ScoreBatch allocates %v per call", allocs)
+	}
+	bigX := make([][]float64, 80) // multi-block batch through the engine
+	for i := range bigX {
+		bigX[i] = catalogVector(i)
+	}
+	bigDst := make([]ScoreResult, 0, len(bigX))
+	if allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		bigDst, err = eng.ScoreBatch(model, bigX, bigDst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Engine.ScoreBatch (80 items) allocates %v per call", allocs)
 	}
 }
