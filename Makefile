@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-replicate bench-replicate-smoke bench-smoke fmt
+.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-replicate bench-replicate-smoke bench-replay bench-replay-smoke bench-smoke fmt
 
-check: vet build test race bench-engine bench-predict-smoke bench-replicate-smoke
+check: vet build test race bench-engine bench-predict-smoke bench-replicate-smoke bench-replay-smoke
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,28 @@ bench-replicate:
 # nothing.
 bench-replicate-smoke:
 	$(GO) test ./internal/replica -run '^$$' -short -bench '$(REPLICATE_BENCH)' -benchtime=1x
+
+# Historical-replay perf baseline: the cmd/orfload backfill pipeline
+# (parallel readers + chronological merge + scoring-free batched
+# ingest), its naive single-goroutine Ingest baseline, and post-kill
+# recovery replay. Records BOTH corpus regimes — full (headline numbers)
+# and smoke (the CI-sized corpus bench-replay-smoke gates against) —
+# into BENCH_replay.json. No -benchmem: each op spins up and tears down
+# a whole engine, so allocs/op is scheduler noise here; rows/s and MB/s
+# are the metrics that matter.
+REPLAY_BENCH = BenchmarkBackfillPipeline|BenchmarkBackfillNaive|BenchmarkBackfillRecovery
+
+bench-replay:
+	( $(GO) test ./internal/backfill -run '^$$' -bench '$(REPLAY_BENCH)' -count=5 -benchtime=1x -timeout 60m && \
+	  $(GO) test ./internal/backfill -run '^$$' -short -bench '$(REPLAY_BENCH)' -count=5 -benchtime=1x -timeout 30m ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_replay.json
+
+# Replay smoke gate: re-measure the smoke-corpus regime and fail on a
+# >25% ns/op regression against the committed baseline's /smoke/
+# entries.
+bench-replay-smoke:
+	$(GO) test ./internal/backfill -run '^$$' -short -bench '$(REPLAY_BENCH)' -count=3 -benchtime=1x -timeout 30m \
+		| $(GO) run ./cmd/benchjson -check BENCH_replay.json -match '/smoke$$' -tol 0.25
 
 # Smoke-run every benchmark in the repo (one iteration each): catches
 # benchmarks that no longer compile or crash, measures nothing.

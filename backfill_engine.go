@@ -1,0 +1,474 @@
+package orfdisk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Engine-side half of the bulk backfill path (the loader pipeline lives
+// in internal/backfill). Two properties distinguish it from IngestBatch:
+//
+//   - Rows are applied through Predictor.Absorb — identical model state,
+//     no per-row scoring. Historical replay needs the state the stream
+//     leaves behind, not day-by-day alarms, and the frozen-forest tree
+//     walk is the dominant per-row cost of the live path.
+//
+//   - Durability is arranged for exact-once resume. All records of one
+//     IngestBackfill call — the rows, then optionally a cursor record
+//     describing the loader's (file, row, offset) frontier AFTER those
+//     rows — are framed into a single wal.AppendBatch, so they occupy
+//     one contiguous, atomically-ordered seq range appended by the one
+//     loader goroutine. The WAL loses only suffixes, which makes the
+//     durable state always "some prefix of the submitted batches":
+//     recovery re-reads the newest cursor (from the WAL suffix or from
+//     the cursor file a snapshot persisted) and counts the backfill row
+//     records after it. The pair (cursor, rowsAfter) is an exact resume
+//     point — the loader seeks its readers to the cursor and discards
+//     exactly rowsAfter merged rows before submitting again.
+//
+// Backfill rows use their own record kind so live Ingest traffic can
+// never perturb the rowsAfter count.
+
+// BackfillFilePos is one source file's position inside a BackfillCursor.
+type BackfillFilePos struct {
+	// Name is the file's base name (cursors must survive the archive
+	// being remounted at a different path).
+	Name string
+	// Rows is the number of data rows fully consumed from the file.
+	Rows int64
+	// Off is the byte offset just past the last consumed row.
+	Off int64
+}
+
+// BackfillCursor is the loader's merge frontier: how far each source
+// file has been consumed, and the day/row watermark of the merged
+// stream. The zero value means "start of all files".
+type BackfillCursor struct {
+	// Day is the day index of the last merged row handed to the engine.
+	Day int
+	// Rows is the total number of merged rows handed to the engine.
+	Rows int64
+	// Files holds one position per source file that has been opened.
+	Files []BackfillFilePos
+}
+
+func (c BackfillCursor) clone() BackfillCursor {
+	c.Files = append([]BackfillFilePos(nil), c.Files...)
+	return c
+}
+
+// bfState is the engine's cursor bookkeeping, all guarded by mu. seq is
+// the highest WAL sequence number the (cur, rowsAfter) pair accounts
+// for; recovery uses it to know which replayed records are news.
+type bfState struct {
+	mu        sync.Mutex
+	valid     bool
+	cur       BackfillCursor
+	rowsAfter uint64
+	seq       uint64
+
+	// pendingLow pins the snapshot truncation cutoff while a backfill
+	// batch is between its WAL append and its shard applies. The live
+	// ingest path appends on the shard worker itself, so Snapshot's
+	// worker-serialized reads can never observe durable-but-unapplied
+	// records there; the backfill loader appends from its own goroutine,
+	// so without this floor a concurrent snapshot could truncate records
+	// no snapshot covers and no shard has applied yet. Zero means no
+	// batch is in flight. Set (to a pre-append NextSeq lower bound)
+	// before the records exist, so any cutoff computed after they exist
+	// observes it.
+	pendingLow uint64
+
+	// Framing scratch for IngestBackfill (single in-flight call by
+	// contract — the loader is one goroutine).
+	enc     []byte
+	offs    []int
+	payload [][]byte
+}
+
+// BackfillState returns the durable backfill resume point: the last
+// cursor the engine has seen plus the number of backfill rows applied
+// after it. ok is false when no backfill has ever touched this engine
+// (resume from the beginning, skip nothing).
+func (e *Engine) BackfillState() (cur BackfillCursor, rowsAfter uint64, ok bool) {
+	e.bf.mu.Lock()
+	defer e.bf.mu.Unlock()
+	return e.bf.cur.clone(), e.bf.rowsAfter, e.bf.valid
+}
+
+// IngestBackfill applies one chronological slice of the backfill stream.
+// Rows must be pre-validated by the loader (serial, model and full-width
+// values present); any invalid row fails the whole batch before
+// anything is appended, keeping the WAL row count in lockstep with the
+// loader's. cur, when non-nil, is the loader's frontier after these
+// rows; it is framed into the same WAL batch, becoming the new durable
+// resume point the moment the batch is.
+//
+// Unlike IngestBatch, a full shard mailbox blocks (backpressure)
+// instead of shedding with ErrBusy: the loader is the only caller and
+// wants throughput, not tail latency. Calls must not be concurrent;
+// rows for one model apply in slice order. The call returns after every
+// row is applied, so the caller may reuse the batch's backing memory.
+func (e *Engine) IngestBackfill(batch []FleetObservation, cur *BackfillCursor) error {
+	if e.follower.Load() {
+		return ErrNotLeader
+	}
+	if len(batch) == 0 && cur == nil {
+		return nil
+	}
+	for i := range batch {
+		if err := e.validate(batch[i]); err != nil {
+			return fmt.Errorf("orfdisk: backfill row %d: %w", i, err)
+		}
+		if batch[i].Model == "" {
+			return fmt.Errorf("orfdisk: backfill row %d (serial %q) has no model", i, batch[i].Serial)
+		}
+	}
+
+	var first uint64
+	if e.wal != nil {
+		bf := &e.bf
+		bf.mu.Lock()
+		bf.pendingLow = e.wal.NextSeq() // lower bound: concurrent appends only raise NextSeq
+		bf.mu.Unlock()
+		bf.enc, bf.offs, bf.payload = bf.enc[:0], bf.offs[:0], bf.payload[:0]
+		for i := range batch {
+			bf.offs = append(bf.offs, len(bf.enc))
+			bf.enc = appendObserveRecordKind(bf.enc, batch[i], recObserveBF)
+		}
+		if cur != nil {
+			bf.offs = append(bf.offs, len(bf.enc))
+			bf.enc = appendCursorRecord(bf.enc, *cur)
+		}
+		for j, off := range bf.offs {
+			end := len(bf.enc)
+			if j+1 < len(bf.offs) {
+				end = bf.offs[j+1]
+			}
+			bf.payload = append(bf.payload, bf.enc[off:end])
+		}
+		var err error
+		if first, err = e.wal.AppendBatch(bf.payload); err != nil {
+			e.met.ingestErrors.Add(uint64(len(batch)))
+			return err
+		}
+		last := first + uint64(len(bf.payload)) - 1
+		e.noteBackfillBatch(last, uint64(len(batch)), cur)
+	} else {
+		e.noteBackfillBatch(0, uint64(len(batch)), cur)
+	}
+
+	// Fan the durable rows out to their shards. Group in batch order so
+	// per-model slices stay chronological; distinct models absorb in
+	// parallel.
+	sc := e.getScratch()
+	for i := range batch {
+		m := batch[i].Model
+		k, ok := sc.groups[m]
+		if !ok {
+			k = len(sc.order)
+			sc.groups[m] = k
+			sc.order = append(sc.order, m)
+			if k == len(sc.idxs) {
+				sc.idxs = append(sc.idxs, nil)
+			}
+		}
+		sc.idxs[k] = append(sc.idxs[k], i)
+	}
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		subErr error
+	)
+	for k, model := range sc.order {
+		idxs := sc.idxs[k]
+		wg.Add(1)
+		err := e.submitBlocking(model, func(s *shardState) {
+			defer wg.Done()
+			e.applyBackfill(s, batch, idxs, first)
+		})
+		if err != nil {
+			wg.Done()
+			errMu.Lock()
+			if subErr == nil {
+				subErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+	wg.Wait()
+	e.scratch.Put(sc)
+	if subErr == nil && e.wal != nil {
+		// Every row is applied; snapshots may truncate past the batch
+		// again. On error the floor stays set — conservative: it pins
+		// the WAL, but the records it pins are exactly the ones only
+		// the WAL still knows about.
+		e.bf.mu.Lock()
+		e.bf.pendingLow = 0
+		e.bf.mu.Unlock()
+	}
+	return subErr
+}
+
+// submitBlocking enqueues fn on model's shard, waiting out ErrBusy: the
+// bounded mailbox is the pipeline's backpressure, not a shed signal.
+func (e *Engine) submitBlocking(model string, fn func(*shardState)) error {
+	for {
+		err := e.pool.Submit(model, fn)
+		if !errors.Is(err, ErrBusy) {
+			return err
+		}
+	}
+}
+
+// applyBackfill absorbs one shard's slice of a backfill batch on the
+// shard's worker. Mirrors applyBatch minus per-row results and scoring;
+// seq bookkeeping keeps snapshots and WAL truncation exact.
+func (e *Engine) applyBackfill(s *shardState, batch []FleetObservation, idxs []int, first uint64) {
+	e.mu.Lock()
+	for _, i := range idxs {
+		e.modelOf[batch[i].Serial] = batch[i].Model
+	}
+	e.mu.Unlock()
+	e.met.ingests.Add(uint64(len(idxs)))
+	applied := 0
+	for _, i := range idxs {
+		obs := batch[i]
+		if e.wal != nil {
+			seq := first + uint64(i)
+			s.lastSeq = seq
+			if s.firstUnsnapped == 0 {
+				s.firstUnsnapped = seq
+			}
+		}
+		if err := s.p.Absorb(obs.Observation); err != nil {
+			// Validated upfront, so this is a poison pill; skip it the
+			// way recovery replay would, keeping live and replayed state
+			// identical.
+			e.met.ingestErrors.Inc()
+			e.log.Warn("backfill: predictor rejected row; skipping",
+				"model", obs.Model, "serial", obs.Serial, "err", err)
+			continue
+		}
+		applied++
+		if obs.Failed {
+			e.mu.Lock()
+			delete(e.modelOf, obs.Serial)
+			e.mu.Unlock()
+		}
+	}
+	if applied > 0 {
+		e.noteApplied(s, applied)
+	}
+}
+
+// noteBackfillBatch advances the in-memory cursor accounting after a
+// batch is durable: a checkpointing batch resets rowsAfter to zero, a
+// plain batch adds its rows.
+func (e *Engine) noteBackfillBatch(lastSeq uint64, rows uint64, cur *BackfillCursor) {
+	e.bf.mu.Lock()
+	defer e.bf.mu.Unlock()
+	if lastSeq > e.bf.seq {
+		e.bf.seq = lastSeq
+	}
+	e.bf.valid = true
+	if cur != nil {
+		e.bf.cur = cur.clone()
+		e.bf.rowsAfter = 0
+	} else {
+		e.bf.rowsAfter += rows
+	}
+}
+
+// noteBackfillRecord accounts one replayed/replicated backfill row
+// record. Records the cursor state already covers (seq <= bf.seq) are
+// not news.
+func (e *Engine) noteBackfillRecord(seq uint64) {
+	e.bf.mu.Lock()
+	defer e.bf.mu.Unlock()
+	if seq <= e.bf.seq {
+		return
+	}
+	e.bf.seq = seq
+	e.bf.rowsAfter++
+	e.bf.valid = true
+}
+
+// noteCursorRecord accounts one replayed/replicated cursor record.
+func (e *Engine) noteCursorRecord(seq uint64, cur *BackfillCursor) {
+	e.bf.mu.Lock()
+	defer e.bf.mu.Unlock()
+	if seq <= e.bf.seq {
+		return
+	}
+	e.bf.seq = seq
+	e.bf.cur = cur.clone()
+	e.bf.rowsAfter = 0
+	e.bf.valid = true
+}
+
+// DumpModel streams the named model's complete predictor state
+// (identical bytes to the payload a snapshot would store) to w. Backfill
+// equivalence tests compare engines through it: snapshot files also
+// carry WAL sequence numbers, which legitimately differ between runs
+// whose record framing differs, while the predictor state must not.
+func (e *Engine) DumpModel(model string, w io.Writer) error {
+	var serr error
+	if err := e.pool.Query(model, func(s *shardState) {
+		serr = s.p.SaveState(w)
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// --- cursor record encoding ---
+
+func appendCursorRecord(buf []byte, c BackfillCursor) []byte {
+	buf = append(buf, recCursor)
+	buf = binary.AppendVarint(buf, int64(c.Day))
+	buf = binary.AppendVarint(buf, c.Rows)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Files)))
+	for _, f := range c.Files {
+		buf = binary.AppendUvarint(buf, uint64(len(f.Name)))
+		buf = append(buf, f.Name...)
+		buf = binary.AppendVarint(buf, f.Rows)
+		buf = binary.AppendVarint(buf, f.Off)
+	}
+	return buf
+}
+
+// decodeCursorRecord parses the body written by appendCursorRecord (b
+// excludes the kind byte).
+func decodeCursorRecord(b []byte) (*BackfillCursor, error) {
+	bad := errors.New("orfdisk: truncated cursor WAL record")
+	var c BackfillCursor
+	day, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, bad
+	}
+	c.Day = int(day)
+	b = b[n:]
+	rows, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, bad
+	}
+	c.Rows = rows
+	b = b[n:]
+	nf, n := binary.Uvarint(b)
+	if n <= 0 || nf > uint64(len(b)) {
+		return nil, bad
+	}
+	b = b[n:]
+	c.Files = make([]BackfillFilePos, 0, nf)
+	for i := uint64(0); i < nf; i++ {
+		var f BackfillFilePos
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || ln > uint64(len(b)-n) {
+			return nil, bad
+		}
+		f.Name = string(b[n : n+int(ln)])
+		b = b[n+int(ln):]
+		if f.Rows, n = binary.Varint(b); n <= 0 {
+			return nil, bad
+		}
+		b = b[n:]
+		if f.Off, n = binary.Varint(b); n <= 0 {
+			return nil, bad
+		}
+		b = b[n:]
+		c.Files = append(c.Files, f)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("orfdisk: %d trailing bytes in cursor WAL record", len(b))
+	}
+	return &c, nil
+}
+
+// --- cursor file (snapshot-side persistence) ---
+
+// The WAL suffix holding the newest cursor record may be truncated by a
+// snapshot pass, so Snapshot also persists the cursor state to a small
+// atomically-replaced file. Recovery seeds from the file, then replays
+// the WAL suffix on top; bf.seq keeps the two sources consistent.
+
+const (
+	cursorFileName = "backfill-cursor"
+	cursorMagic    = "OBC1"
+)
+
+func (e *Engine) writeBackfillCursorFile() error {
+	e.bf.mu.Lock()
+	valid, cur, rowsAfter, seq := e.bf.valid, e.bf.cur.clone(), e.bf.rowsAfter, e.bf.seq
+	e.bf.mu.Unlock()
+	if !valid {
+		return nil
+	}
+	buf := make([]byte, 0, 64+32*len(cur.Files))
+	buf = append(buf, cursorMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.AppendUvarint(buf, rowsAfter)
+	buf = appendCursorRecord(buf, cur)
+
+	final := filepath.Join(e.cfg.DataDir, cursorFileName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(buf)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, final)
+}
+
+// loadBackfillCursorFile seeds the cursor state during recovery. A
+// missing file just means no snapshot has persisted one yet.
+func (e *Engine) loadBackfillCursorFile() error {
+	b, err := os.ReadFile(filepath.Join(e.cfg.DataDir, cursorFileName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(b) < len(cursorMagic)+8 || string(b[:len(cursorMagic)]) != cursorMagic {
+		return fmt.Errorf("orfdisk: bad backfill cursor file magic")
+	}
+	b = b[len(cursorMagic):]
+	seq := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	rowsAfter, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fmt.Errorf("orfdisk: truncated backfill cursor file")
+	}
+	b = b[n:]
+	if len(b) < 1 || b[0] != recCursor {
+		return fmt.Errorf("orfdisk: backfill cursor file carries record kind %d", b[0])
+	}
+	cur, err := decodeCursorRecord(b[1:])
+	if err != nil {
+		return err
+	}
+	e.bf.mu.Lock()
+	e.bf.valid = true
+	e.bf.cur = *cur
+	e.bf.rowsAfter = rowsAfter
+	e.bf.seq = seq
+	e.bf.mu.Unlock()
+	return nil
+}

@@ -1,10 +1,18 @@
 // Command orfgen generates a synthetic SMART fleet as a Backblaze-format
-// CSV, suitable for feeding cmd/orfmon or any external tooling.
+// CSV, suitable for feeding cmd/orfmon, cmd/orfload or any external
+// tooling.
 //
 // Usage:
 //
 //	orfgen -profile STA -scale 0.01 -months 12 > fleet.csv
 //	orfgen -profile STB -scale 0.05 -o stb.csv
+//
+// Fleet-history mode writes the layout real Backblaze archives ship in —
+// one CSV per quarter, optionally striped into several files — so the
+// backfill pipeline's multi-file chronological merge has something
+// honest to chew on:
+//
+//	orfgen -profile ALL -scale 0.01 -months 12 -history data/ -stripes 4
 package main
 
 import (
@@ -12,8 +20,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 
 	"orfdisk/internal/dataset"
 	"orfdisk/internal/smart"
@@ -21,51 +31,98 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "STA", "fleet profile: STA or STB")
+		profile = flag.String("profile", "STA", "fleet profile: STA, STB, or ALL (both fleets merged)")
 		scale   = flag.Float64("scale", 0.01, "population scale vs the paper's Table 1")
 		months  = flag.Int("months", 0, "override window length in months (0 = profile default)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("o", "", "output file (default stdout)")
 		meta    = flag.String("meta", "", "also write ground-truth disk metadata as JSON here")
+		history = flag.String("history", "", "fleet-history mode: write per-quarter CSVs into this directory")
+		stripes = flag.Int("stripes", 1, "with -history, split each quarter into N files by serial hash")
 	)
 	flag.Parse()
 
-	var prof dataset.Profile
+	var profs []dataset.Profile
 	switch *profile {
 	case "STA":
-		prof = dataset.STA(*scale)
+		profs = []dataset.Profile{dataset.STA(*scale)}
 	case "STB":
-		prof = dataset.STB(*scale)
+		profs = []dataset.Profile{dataset.STB(*scale)}
+	case "ALL":
+		profs = []dataset.Profile{dataset.STA(*scale), dataset.STB(*scale)}
 	default:
-		fmt.Fprintf(os.Stderr, "orfgen: unknown profile %q (want STA or STB)\n", *profile)
+		fmt.Fprintf(os.Stderr, "orfgen: unknown profile %q (want STA, STB, or ALL)\n", *profile)
 		os.Exit(2)
 	}
 	if *months > 0 {
-		prof = prof.WithMonths(*months)
+		for i := range profs {
+			profs[i] = profs[i].WithMonths(*months)
+		}
 	}
 
-	gen, err := dataset.New(prof, *seed)
+	gens := make([]*dataset.Generator, len(profs))
+	capacities := make(map[string]int64, len(profs))
+	disks := 0
+	for i, p := range profs {
+		// Offset seeds so the merged fleets draw independent streams.
+		g, err := dataset.New(p, *seed+uint64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orfgen:", err)
+			os.Exit(1)
+		}
+		gens[i] = g
+		capacities[p.Model] = int64(p.CapacityTB) * 1_000_000_000_000
+		disks += p.TotalDisks()
+	}
+	stream := func(fn func(smart.Sample) error) error {
+		if len(gens) == 1 {
+			return gens[0].Stream(fn)
+		}
+		return dataset.StreamMerged(gens, fn)
+	}
+
+	var n int
+	var err error
+	if *history != "" {
+		n, err = writeHistory(*history, *stripes, capacities, stream)
+	} else {
+		n, err = writeSingle(*out, capacities, stream)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "orfgen:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "orfgen: wrote %d samples for %d disks (%s, %d months)\n",
+		n, disks, *profile, profs[0].Months)
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *meta != "" {
+		var all []dataset.DiskMeta
+		for _, g := range gens {
+			all = append(all, g.Disks()...)
+		}
+		if err := writeMeta(*meta, all); err != nil {
 			fmt.Fprintln(os.Stderr, "orfgen:", err)
 			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "orfgen: ground truth written to %s\n", *meta)
+	}
+}
+
+// writeSingle streams the whole fleet into one CSV (stdout or -o).
+func writeSingle(out string, capacities map[string]int64, stream func(func(smart.Sample) error) error) (int, error) {
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return 0, err
 		}
 		defer f.Close()
 		w = f
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	cw := smart.NewWriter(bw, map[string]int64{
-		prof.Model: int64(prof.CapacityTB) * 1_000_000_000_000,
-	})
+	cw := smart.NewWriter(bw, capacities)
 	n := 0
-	err = gen.Stream(func(s smart.Sample) error {
+	err := stream(func(s smart.Sample) error {
 		n++
 		return cw.Write(s)
 	})
@@ -75,29 +132,94 @@ func main() {
 	if err == nil {
 		err = bw.Flush()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "orfgen:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "orfgen: wrote %d samples for %d disks (%s, %d months)\n",
-		n, prof.TotalDisks(), prof.Name, prof.Months)
+	return n, err
+}
 
-	if *meta != "" {
-		f, err := os.Create(*meta)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "orfgen:", err)
-			os.Exit(1)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(gen.Disks()); err != nil {
-			fmt.Fprintln(os.Stderr, "orfgen:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "orfgen:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "orfgen: ground truth written to %s\n", *meta)
+// writeHistory splits the stream into per-quarter files, each optionally
+// striped by serial hash. Striping puts every day's rows in several
+// files at once, so loading the directory chronologically requires a
+// real multi-file merge — the same shape as Backblaze's quarterly ZIPs
+// unpacked into per-drive-cohort shards. File names sort in
+// chronological order (fleet-q000-s00.csv, fleet-q000-s01.csv, ...).
+func writeHistory(dir string, stripes int, capacities map[string]int64, stream func(func(smart.Sample) error) error) (int, error) {
+	if stripes < 1 {
+		return 0, fmt.Errorf("-stripes must be >= 1, got %d", stripes)
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+
+	type stripeFile struct {
+		f  *os.File
+		bw *bufio.Writer
+		cw *smart.Writer
+	}
+	var open []*stripeFile
+	quarter := -1
+	closeQuarter := func() error {
+		for _, sf := range open {
+			if sf == nil {
+				continue
+			}
+			if err := sf.cw.Flush(); err != nil {
+				return err
+			}
+			if err := sf.bw.Flush(); err != nil {
+				return err
+			}
+			if err := sf.f.Close(); err != nil {
+				return err
+			}
+		}
+		open = nil
+		return nil
+	}
+
+	n := 0
+	err := stream(func(s smart.Sample) error {
+		if q := s.Day / 90; q != quarter {
+			if err := closeQuarter(); err != nil {
+				return err
+			}
+			quarter = q
+			open = make([]*stripeFile, stripes)
+		}
+		stripe := 0
+		if stripes > 1 {
+			h := fnv.New32a()
+			h.Write([]byte(s.Serial))
+			stripe = int(h.Sum32() % uint32(stripes))
+		}
+		sf := open[stripe]
+		if sf == nil {
+			name := filepath.Join(dir, fmt.Sprintf("fleet-q%03d-s%02d.csv", quarter, stripe))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<20)
+			sf = &stripeFile{f: f, bw: bw, cw: smart.NewWriter(bw, capacities)}
+			open[stripe] = sf
+		}
+		n++
+		return sf.cw.Write(s)
+	})
+	if err == nil {
+		err = closeQuarter()
+	}
+	return n, err
+}
+
+func writeMeta(path string, disks []dataset.DiskMeta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(disks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -69,6 +69,9 @@ type Engine struct {
 	snapMu  sync.Mutex
 	snapped map[string]uint64 // last snapshotted WAL seq per model
 
+	// bf is the bulk-backfill cursor state (see backfill_engine.go).
+	bf bfState
+
 	// Replication state (see replicate.go). follower gates writes;
 	// replApplied is the last leader sequence number durably applied;
 	// leaderHead/leaderSent mirror the newest leader frame for lag
@@ -760,7 +763,24 @@ func (e *Engine) Snapshot() error {
 			return err
 		}
 	}
+	// A backfill batch between its WAL append and its shard applies is
+	// durable but covered by nothing; its floor caps the cutoff (see
+	// bfState.pendingLow).
+	e.bf.mu.Lock()
+	if e.bf.pendingLow != 0 && e.bf.pendingLow < cutoff {
+		cutoff = e.bf.pendingLow
+	}
+	e.bf.mu.Unlock()
 	if err := e.wal.Sync(); err != nil {
+		e.met.snapshotErrors.Inc()
+		return err
+	}
+	// The truncation below may delete the WAL suffix holding the newest
+	// backfill cursor record, so the cursor state must reach its own
+	// durable file first. (Rows appended between this write and the
+	// cutoff capture survive in the WAL and re-count during replay;
+	// bf.seq keeps the two sources from double-counting.)
+	if err := e.writeBackfillCursorFile(); err != nil {
 		e.met.snapshotErrors.Inc()
 		return err
 	}
@@ -861,24 +881,49 @@ func (e *Engine) recover() error {
 		}
 	}
 
+	// Seed the backfill cursor from the file the last snapshot persisted
+	// (if any); replayed backfill records with higher sequence numbers
+	// advance it below.
+	if err := e.loadBackfillCursorFile(); err != nil {
+		return err
+	}
+
 	// Replay the WAL suffix. Records at or below a model's snapshot
-	// sequence are already captured by that snapshot.
+	// sequence are already captured by that snapshot. Backfill cursor
+	// accounting runs FIRST, before the snapshot skip: a backfill row a
+	// model snapshot covers still counts toward rowsAfter when the
+	// cursor file predates that snapshot (crash between the two writes).
 	err = w.Replay(func(seq uint64, payload []byte) error {
 		rec, err := decodeRecord(payload)
 		if err != nil {
 			return err
 		}
+		switch rec.kind {
+		case recCursor:
+			e.noteCursorRecord(seq, rec.cur)
+			e.met.replayed.Inc()
+			return nil
+		case recObserveBF:
+			e.noteBackfillRecord(seq)
+		}
 		if seq <= snapSeq[rec.obs.Model] {
 			return nil
 		}
 		switch rec.kind {
-		case recObserve, recObserveV2:
+		case recObserve, recObserveV2, recObserveBF:
 			e.mu.Lock()
 			e.modelOf[rec.obs.Serial] = rec.obs.Model
 			e.mu.Unlock()
 			var ierr error
 			if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
-				_, ierr = s.p.Ingest(rec.obs.Observation)
+				if rec.kind == recObserveBF {
+					// Backfill rows were absorbed without scoring on the
+					// live path; replay the same way (identical state,
+					// and recovery skips the tree walk too).
+					ierr = s.p.Absorb(rec.obs.Observation)
+				} else {
+					_, ierr = s.p.Ingest(rec.obs.Observation)
+				}
 				s.lastSeq = seq
 				if s.firstUnsnapped == 0 {
 					s.firstUnsnapped = seq
@@ -1043,11 +1088,14 @@ const (
 	recObserve   = 1 // legacy fixed-width observe record (decode only)
 	recRetire    = 2
 	recObserveV2 = 3 // varint-packed observe record (current writer)
+	recObserveBF = 4 // backfill observe: v2 body, applied via Absorb and counted by the resume cursor
+	recCursor    = 5 // backfill progress cursor (see backfill_engine.go)
 )
 
 type walRecord struct {
 	kind byte
 	obs  FleetObservation
+	cur  *BackfillCursor // recCursor records only
 }
 
 func encodeObserveRecord(obs FleetObservation) []byte {
@@ -1067,6 +1115,14 @@ func encodeObserveRecord(obs FleetObservation) []byte {
 // oversized store lands in reserved scratch and is overwritten by the
 // next field), keeping the encoder off the record's critical path.
 func appendObserveRecord(buf []byte, obs FleetObservation) []byte {
+	return appendObserveRecordKind(buf, obs, recObserveV2)
+}
+
+// appendObserveRecordKind writes the v2 observe body under an explicit
+// kind byte: recObserveV2 for the live path, recObserveBF for backfill
+// rows (same wire format, distinct kind so the resume cursor counts
+// only its own rows).
+func appendObserveRecordKind(buf []byte, obs FleetObservation, kind byte) []byte {
 	// Worst case per value: 1 length byte + 8 payload; +8 slack so the
 	// last value's full-width store stays in bounds.
 	worst := 2 + 3*binary.MaxVarintLen64 + len(obs.Model) + len(obs.Serial) +
@@ -1076,7 +1132,7 @@ func appendObserveRecord(buf []byte, obs FleetObservation) []byte {
 		buf = append(buf[:n], make([]byte, worst)...)
 	}
 	b := buf[n : n+worst]
-	b[0] = recObserveV2
+	b[0] = kind
 	i := 1
 	i += binary.PutUvarint(b[i:], uint64(len(obs.Model)))
 	i += copy(b[i:], obs.Model)
@@ -1119,8 +1175,15 @@ func decodeRecord(b []byte) (walRecord, error) {
 		return rec, fmt.Errorf("orfdisk: empty WAL record")
 	}
 	rec.kind = b[0]
-	if rec.kind == recObserveV2 {
-		return decodeObserveV2(b[1:])
+	if rec.kind == recObserveV2 || rec.kind == recObserveBF {
+		out, err := decodeObserveV2(b[1:])
+		out.kind = rec.kind
+		return out, err
+	}
+	if rec.kind == recCursor {
+		cur, err := decodeCursorRecord(b[1:])
+		rec.cur = cur
+		return rec, err
 	}
 	b = b[1:]
 	var err error

@@ -1,0 +1,255 @@
+package backfill_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"orfdisk"
+	"orfdisk/internal/backfill"
+	"orfdisk/internal/dataset"
+	"orfdisk/internal/smart"
+)
+
+// Replay benchmarks run in one of two corpus regimes, named in the
+// sub-benchmark so baselines never mix them: "full" (a multi-hundred-
+// thousand-row archive, the headline number) or, under -short, "smoke"
+// (a CI-sized archive for the regression gate — see `make
+// bench-replay-smoke`).
+type regime struct {
+	name    string
+	scale   float64
+	months  int
+	stripes int
+}
+
+func benchRegime() regime {
+	if testing.Short() {
+		return regime{name: "smoke", scale: 0.004, months: 6, stripes: 3}
+	}
+	return regime{name: "full", scale: 0.02, months: 12, stripes: 4}
+}
+
+// corpusInfo is one generated benchmark archive, built lazily per
+// regime and removed in TestMain (b.TempDir would rebuild the multi-MB
+// corpus every iteration).
+type corpusInfo struct {
+	dir   string
+	files []string
+	rows  int64
+	bytes int64
+	// loadedDir is a data directory with the whole corpus already
+	// backfilled and the engine abandoned un-Closed — the recovery
+	// benchmark's replay source. Built on first use.
+	loadedDir string
+}
+
+var corpora = map[string]*corpusInfo{}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	for _, c := range corpora {
+		os.RemoveAll(c.dir)
+		if c.loadedDir != "" {
+			os.RemoveAll(c.loadedDir)
+		}
+	}
+	os.Exit(code)
+}
+
+func getCorpus(b *testing.B, reg regime) *corpusInfo {
+	b.Helper()
+	if c := corpora[reg.name]; c != nil {
+		return c
+	}
+	dir, err := os.MkdirTemp("", "orfload-bench-"+reg.name+"-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &corpusInfo{dir: dir}
+
+	pa := dataset.STA(reg.scale)
+	pa.Months = reg.months
+	pb := dataset.STB(reg.scale)
+	pb.Months = reg.months
+	ga, err := dataset.New(pa, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gb, err := dataset.New(pb, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type sink struct {
+		f  *os.File
+		bw *bufio.Writer
+		cw *smart.Writer
+	}
+	sinks := map[string]*sink{}
+	err = dataset.StreamMerged([]*dataset.Generator{ga, gb}, func(s smart.Sample) error {
+		h := fnv.New32a()
+		h.Write([]byte(s.Serial))
+		name := fmt.Sprintf("fleet-q%03d-s%02d.csv", s.Day/90, int(h.Sum32()%uint32(reg.stripes)))
+		sk := sinks[name]
+		if sk == nil {
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<20)
+			sk = &sink{f: f, bw: bw, cw: smart.NewWriter(bw, nil)}
+			sinks[name] = sk
+		}
+		c.rows++
+		return sk.cw.Write(s)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, sk := range sinks {
+		if err := sk.cw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sk.bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sk.f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		fi, err := os.Stat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.bytes += fi.Size()
+		c.files = append(c.files, p)
+	}
+	sort.Strings(c.files)
+	corpora[reg.name] = c
+	return c
+}
+
+func benchConfig() orfdisk.Config {
+	return orfdisk.Config{Horizon: 4, ORF: orfdisk.ORFConfig{Trees: 5, MinParentSize: 50, Seed: 9}}
+}
+
+// BenchmarkBackfillPipeline is the headline replay number: the full
+// parallel pipeline (readers, merge, batched scoring-free ingest) into
+// a durable engine — exactly what cmd/orfload runs.
+func BenchmarkBackfillPipeline(b *testing.B) {
+	reg := benchRegime()
+	c := getCorpus(b, reg)
+	b.Run(reg.name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dataDir := b.TempDir()
+			eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: benchConfig(), DataDir: dataDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			stats, err := backfill.Run(context.Background(), eng, c.files, backfill.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if stats.Rows != c.rows {
+				b.Fatalf("submitted %d rows, corpus has %d", stats.Rows, c.rows)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		reportRates(b, c)
+	})
+}
+
+// BenchmarkBackfillNaive is the comparison baseline the pipeline is
+// accepted against: the same canonical merge order, one goroutine,
+// row-by-row Engine.Ingest (full scoring). The pipeline must sustain
+// at least 3x this rows/sec.
+func BenchmarkBackfillNaive(b *testing.B) {
+	reg := benchRegime()
+	c := getCorpus(b, reg)
+	b.Run(reg.name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dataDir := b.TempDir()
+			eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: benchConfig(), DataDir: dataDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			stats, err := backfill.RunNaive(eng, c.files, backfill.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if stats.Rows != c.rows {
+				b.Fatalf("submitted %d rows, corpus has %d", stats.Rows, c.rows)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		reportRates(b, c)
+	})
+}
+
+// BenchmarkBackfillRecovery measures the post-kill cost: how long a
+// fresh engine takes to recover a data directory whose WAL holds the
+// whole backfilled corpus (the worst case — no snapshot ever ran).
+func BenchmarkBackfillRecovery(b *testing.B) {
+	reg := benchRegime()
+	c := getCorpus(b, reg)
+	if c.loadedDir == "" {
+		dir, err := os.MkdirTemp("", "orfload-bench-recover-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: benchConfig(), DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := backfill.Run(context.Background(), eng, c.files, backfill.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		// Abandon without Close: no final snapshot, so recovery must
+		// replay every backfill record. (The engine's WAL writes are
+		// unbuffered; everything acknowledged is on disk.)
+		c.loadedDir = dir
+	}
+	b.Run(reg.name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: benchConfig(), DataDir: c.loadedDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, _, ok := eng.BackfillState(); !ok {
+				b.Fatal("recovered engine has no backfill cursor")
+			}
+			// Abandon without Close so the WAL stays untruncated for
+			// the next iteration.
+			b.StartTimer()
+		}
+		reportRates(b, c)
+	})
+}
+
+// reportRates annotates the benchmark with corpus-relative throughput.
+func reportRates(b *testing.B, c *corpusInfo) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 || b.N == 0 {
+		return
+	}
+	b.ReportMetric(float64(c.rows)*float64(b.N)/sec, "rows/s")
+	b.ReportMetric(float64(c.bytes)*float64(b.N)/sec/1e6, "MB/s")
+}

@@ -492,3 +492,78 @@ func TestDistributionDriftsOverTime(t *testing.T) {
 			de.Median, dl.Median)
 	}
 }
+
+func TestStreamMergedInterleavesByDay(t *testing.T) {
+	pa := STA(0.01)
+	pa.Months = 6
+	pb := STB(0.01)
+	pb.Months = 4
+	ga, err := New(pa, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := New(pb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var merged []smart.Sample
+	if err := StreamMerged([]*Generator{ga, gb}, func(s smart.Sample) error {
+		merged = append(merged, s.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chronological, and the union of both fleets' individual streams.
+	perDay := map[int]int{}
+	lastDay := 0
+	for i, s := range merged {
+		if s.Day < lastDay {
+			t.Fatalf("sample %d: day %d after day %d", i, s.Day, lastDay)
+		}
+		lastDay = s.Day
+		perDay[s.Day]++
+	}
+	countStream := func(g *Generator) int {
+		n := 0
+		if err := g.Stream(func(smart.Sample) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if want := countStream(ga) + countStream(gb); len(merged) != want {
+		t.Fatalf("merged %d samples, want %d", len(merged), want)
+	}
+	// Both models appear on day 0 (true interleave, not concatenation).
+	models := map[string]bool{}
+	for _, s := range merged {
+		if s.Day > 0 {
+			break
+		}
+		models[s.Model] = true
+	}
+	if len(models) < 2 {
+		t.Fatalf("day-0 merged samples cover models %v, want both fleets", models)
+	}
+
+	// Determinism: a second pass over fresh generators is identical.
+	ga2, _ := New(pa, 7)
+	gb2, _ := New(pb, 8)
+	i := 0
+	if err := StreamMerged([]*Generator{ga2, gb2}, func(s smart.Sample) error {
+		m := merged[i]
+		if s.Day != m.Day || s.Serial != m.Serial || s.Failure != m.Failure {
+			t.Fatalf("sample %d differs on second pass: %+v vs %+v", i, s, m)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate profile names are rejected (serials would collide).
+	if err := StreamMerged([]*Generator{ga, ga2}, func(smart.Sample) error { return nil }); err == nil {
+		t.Fatal("StreamMerged accepted duplicate profile names")
+	}
+}

@@ -162,37 +162,99 @@ func (g *Generator) Stream(fn func(smart.Sample) error) error {
 // StreamDisks streams only the given disks (e.g. the training split) in
 // chronological order.
 func (g *Generator) StreamDisks(disks []DiskMeta, fn func(smart.Sample) error) error {
-	days := g.prof.Days()
-	// Active disk states, keyed by first observation day.
-	byStart := make(map[int][]*diskState)
+	fs, err := newFleetStream(g, disks)
+	if err != nil {
+		return err
+	}
+	for day := 0; day < g.prof.Days(); day++ {
+		if err := fs.emitDay(day, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fleetStream is the per-day stepper behind StreamDisks and
+// StreamMerged: it holds the active disk states of one generator and
+// emits one day at a time, so multiple fleets can be interleaved
+// day-by-day without materializing either.
+type fleetStream struct {
+	// byStart keys pending disk states by first observation day.
+	byStart map[int][]*diskState
+	active  []*diskState
+}
+
+func newFleetStream(g *Generator, disks []DiskMeta) (*fleetStream, error) {
+	fs := &fleetStream{byStart: make(map[int][]*diskState)}
 	for _, m := range disks {
 		if m.Index < 0 || m.Index >= len(g.disks) || g.disks[m.Index].Serial != m.Serial {
-			return fmt.Errorf("dataset: disk %q does not belong to this generator", m.Serial)
+			return nil, fmt.Errorf("dataset: disk %q does not belong to this generator", m.Serial)
 		}
-		byStart[m.FirstObservedDay()] = append(byStart[m.FirstObservedDay()],
+		fs.byStart[m.FirstObservedDay()] = append(fs.byStart[m.FirstObservedDay()],
 			newDiskState(g.prof, m, g.diskSeed[m.Index]))
 	}
-	var active []*diskState
-	for day := 0; day < days; day++ {
-		if starts := byStart[day]; len(starts) > 0 {
-			active = append(active, starts...)
-			delete(byStart, day)
-			// Keep deterministic disk-index order within a day.
-			sort.Slice(active, func(i, j int) bool {
-				return active[i].meta.Index < active[j].meta.Index
-			})
+	return fs, nil
+}
+
+// emitDay steps every disk active on day and calls fn for each sample,
+// in deterministic disk-index order. Days must be visited consecutively
+// from 0; the disk state machines require it.
+func (fs *fleetStream) emitDay(day int, fn func(smart.Sample) error) error {
+	if starts := fs.byStart[day]; len(starts) > 0 {
+		fs.active = append(fs.active, starts...)
+		delete(fs.byStart, day)
+		// Keep deterministic disk-index order within a day.
+		sort.Slice(fs.active, func(i, j int) bool {
+			return fs.active[i].meta.Index < fs.active[j].meta.Index
+		})
+	}
+	w := 0
+	for _, st := range fs.active {
+		if err := fn(st.step(day)); err != nil {
+			return err
 		}
-		w := 0
-		for _, st := range active {
-			if err := fn(st.step(day)); err != nil {
+		if !(st.meta.Failed && day == st.meta.FailDay) {
+			fs.active[w] = st
+			w++
+		}
+	}
+	fs.active = fs.active[:w]
+	return nil
+}
+
+// StreamMerged interleaves several fleets into one chronological stream:
+// day-major over the union of windows, generator order then disk-index
+// order within a day. This produces the mixed-model daily snapshots a
+// real data center reports — exactly the shape a Backblaze export has —
+// without materializing any fleet. Generators must have distinct profile
+// names or serials would collide.
+func StreamMerged(gens []*Generator, fn func(smart.Sample) error) error {
+	days := 0
+	streams := make([]*fleetStream, len(gens))
+	for i, g := range gens {
+		for j := 0; j < i; j++ {
+			if gens[j].prof.Name == g.prof.Name {
+				return fmt.Errorf("dataset: StreamMerged needs distinct profile names, got %q twice", g.prof.Name)
+			}
+		}
+		fs, err := newFleetStream(g, g.disks)
+		if err != nil {
+			return err
+		}
+		streams[i] = fs
+		if d := g.prof.Days(); d > days {
+			days = d
+		}
+	}
+	for day := 0; day < days; day++ {
+		for i, fs := range streams {
+			if day >= gens[i].prof.Days() {
+				continue
+			}
+			if err := fs.emitDay(day, fn); err != nil {
 				return err
 			}
-			if !(st.meta.Failed && day == st.meta.FailDay) {
-				active[w] = st
-				w++
-			}
 		}
-		active = active[:w]
 	}
 	return nil
 }

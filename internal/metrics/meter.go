@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter measures a recent-window rate (events per second) over a ring of
+// one-second buckets. Unlike a Counter — whose rate only exists after a
+// scraper takes two samples — a Meter answers "how fast right now?" in a
+// single read, which is what a progress log or a rows/sec gauge needs.
+//
+// Add is a mutex-protected bucket update (backfill batches arrive a few
+// hundred times per second at most, so hot-path atomics are not worth
+// the complexity here); Rate sums the last windowSize complete buckets.
+type Meter struct {
+	mu      sync.Mutex
+	buckets []uint64 // ring of per-second totals
+	second  int64    // unix second the current bucket belongs to
+	now     func() time.Time
+}
+
+// meterWindow is the averaging window in seconds. Long enough to smooth
+// per-batch jitter, short enough to track throughput changes during a
+// multi-hour backfill.
+const meterWindow = 10
+
+// NewMeter returns a meter averaging over the last 10 seconds.
+func NewMeter() *Meter { return newMeterAt(time.Now) }
+
+func newMeterAt(now func() time.Time) *Meter {
+	return &Meter{buckets: make([]uint64, meterWindow+1), now: now}
+}
+
+// Add records n events at the current time.
+func (m *Meter) Add(n uint64) {
+	sec := m.now().Unix()
+	m.mu.Lock()
+	m.advance(sec)
+	m.buckets[sec%int64(len(m.buckets))] += n
+	m.mu.Unlock()
+}
+
+// Rate returns the average events/sec over the window, excluding the
+// in-progress second (whose bucket is still filling and would bias the
+// rate low).
+func (m *Meter) Rate() float64 {
+	sec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(sec)
+	var sum uint64
+	for i, b := range m.buckets {
+		if int64(i) != sec%int64(len(m.buckets)) {
+			sum += b
+		}
+	}
+	return float64(sum) / meterWindow
+}
+
+// advance zeroes buckets the clock has moved past. Callers hold m.mu.
+func (m *Meter) advance(sec int64) {
+	if m.second == 0 {
+		m.second = sec
+		return
+	}
+	gap := sec - m.second
+	if gap <= 0 {
+		return
+	}
+	if gap > int64(len(m.buckets)) {
+		gap = int64(len(m.buckets))
+	}
+	for i := int64(1); i <= gap; i++ {
+		m.buckets[(m.second+i)%int64(len(m.buckets))] = 0
+	}
+	m.second = sec
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := newMeterAt(func() time.Time { return now })
+
+	// 100 events/sec for the full window.
+	for i := 0; i < meterWindow; i++ {
+		m.Add(100)
+		now = now.Add(time.Second)
+	}
+	if got := m.Rate(); got != 100 {
+		t.Fatalf("Rate = %v, want 100", got)
+	}
+
+	// The in-progress second must not drag the rate down.
+	m.Add(1)
+	if got := m.Rate(); got != 100 {
+		t.Fatalf("Rate with partial second = %v, want 100", got)
+	}
+
+	// After the window passes idle, the rate decays to zero.
+	now = now.Add((meterWindow + 2) * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after idle window = %v, want 0", got)
+	}
+}
+
+func TestMeterBurst(t *testing.T) {
+	now := time.Unix(2000, 0)
+	m := newMeterAt(func() time.Time { return now })
+
+	m.Add(500)
+	now = now.Add(time.Second)
+	if got := m.Rate(); got != 500.0/meterWindow {
+		t.Fatalf("Rate = %v, want %v", got, 500.0/meterWindow)
+	}
+}

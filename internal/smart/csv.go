@@ -27,13 +27,15 @@ func DayToDate(day int) string {
 	return epoch.AddDate(0, 0, day).Format("2006-01-02")
 }
 
-// DateToDay parses a Backblaze date string into a day index.
+// DateToDay parses a Backblaze date string into a day index. The
+// difference is computed in Unix seconds, not time.Duration, which
+// saturates at ±292 years and would silently clamp far-out dates.
 func DateToDay(s string) (int, error) {
 	t, err := time.Parse("2006-01-02", s)
 	if err != nil {
 		return 0, fmt.Errorf("smart: bad date %q: %w", s, err)
 	}
-	return int(t.Sub(epoch).Hours() / 24), nil
+	return int((t.Unix() - epoch.Unix()) / 86400), nil
 }
 
 // Writer streams samples to w in Backblaze CSV format.
@@ -87,13 +89,54 @@ func boolTo01(b bool) string {
 	return "0"
 }
 
-// Reader streams samples from a Backblaze-format CSV.
-type Reader struct {
-	cr *csv.Reader
+// colMap is the header resolution shared by Reader and FastReader:
+// which CSV column feeds which catalog index, plus the positions of the
+// four required metadata columns.
+type colMap struct {
 	// colFor[i] is the catalog index the i-th CSV column maps to, or -1.
 	colFor             []int
 	dateCol, serialCol int
 	modelCol, failCol  int
+}
+
+// buildColMap resolves a Backblaze header row: any column order, any
+// superset of smart_* columns (unknown ones are ignored). The
+// capacity_bytes column needs no slot — both readers skip it entirely,
+// so a blank or absent capacity parses fine.
+func buildColMap(head []string) (colMap, error) {
+	cm := colMap{dateCol: -1, serialCol: -1, modelCol: -1, failCol: -1}
+	cm.colFor = make([]int, len(head))
+	names := make(map[string]int, 2*NumFeatures())
+	for i, f := range Catalog() {
+		names[f.Name()] = i
+	}
+	for i, col := range head {
+		cm.colFor[i] = -1
+		switch col {
+		case "date":
+			cm.dateCol = i
+		case "serial_number":
+			cm.serialCol = i
+		case "model":
+			cm.modelCol = i
+		case "failure":
+			cm.failCol = i
+		default:
+			if idx, ok := names[col]; ok {
+				cm.colFor[i] = idx
+			}
+		}
+	}
+	if cm.dateCol < 0 || cm.serialCol < 0 || cm.modelCol < 0 || cm.failCol < 0 {
+		return colMap{}, fmt.Errorf("smart: CSV header missing required columns (date, serial_number, model, failure)")
+	}
+	return cm, nil
+}
+
+// Reader streams samples from a Backblaze-format CSV.
+type Reader struct {
+	cr *csv.Reader
+	cm colMap
 }
 
 // NewReader parses the header of r and returns a sample Reader.
@@ -104,33 +147,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smart: reading CSV header: %w", err)
 	}
-	rd := &Reader{cr: cr, dateCol: -1, serialCol: -1, modelCol: -1, failCol: -1}
-	rd.colFor = make([]int, len(head))
-	names := make(map[string]int, 2*NumFeatures())
-	for i, f := range Catalog() {
-		names[f.Name()] = i
+	cm, err := buildColMap(head)
+	if err != nil {
+		return nil, err
 	}
-	for i, col := range head {
-		rd.colFor[i] = -1
-		switch col {
-		case "date":
-			rd.dateCol = i
-		case "serial_number":
-			rd.serialCol = i
-		case "model":
-			rd.modelCol = i
-		case "failure":
-			rd.failCol = i
-		default:
-			if idx, ok := names[col]; ok {
-				rd.colFor[i] = idx
-			}
-		}
-	}
-	if rd.dateCol < 0 || rd.serialCol < 0 || rd.modelCol < 0 || rd.failCol < 0 {
-		return nil, fmt.Errorf("smart: CSV header missing required columns (date, serial_number, model, failure)")
-	}
-	return rd, nil
+	return &Reader{cr: cr, cm: cm}, nil
 }
 
 // Read returns the next sample, or io.EOF at end of input. Missing or
@@ -142,15 +163,15 @@ func (r *Reader) Read() (Sample, error) {
 		return Sample{}, err
 	}
 	var s Sample
-	s.Day, err = DateToDay(rec[r.dateCol])
+	s.Day, err = DateToDay(rec[r.cm.dateCol])
 	if err != nil {
 		return Sample{}, err
 	}
-	s.Serial = rec[r.serialCol]
-	s.Model = rec[r.modelCol]
-	s.Failure = rec[r.failCol] == "1"
+	s.Serial = rec[r.cm.serialCol]
+	s.Model = rec[r.cm.modelCol]
+	s.Failure = rec[r.cm.failCol] == "1"
 	s.Values = make([]float64, NumFeatures())
-	for i, cat := range r.colFor {
+	for i, cat := range r.cm.colFor {
 		if cat < 0 || i >= len(rec) {
 			continue
 		}

@@ -1,0 +1,403 @@
+package smart
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fullHeader renders the canonical Backblaze header Writer emits.
+func fullHeader() string {
+	return strings.Join(header(), ",")
+}
+
+// drainFast reads every row of data through a FastReader, returning the
+// parsed samples and the per-row errors in arrival order.
+func drainFast(t *testing.T, data string) ([]Sample, []error) {
+	t.Helper()
+	fr, err := NewFastReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewFastReader: %v", err)
+	}
+	var (
+		out  []Sample
+		errs []error
+	)
+	for {
+		var s Sample
+		err := fr.Read(&s)
+		if err == io.EOF {
+			return out, errs
+		}
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, s.Clone())
+	}
+}
+
+func TestFastReaderQuirks(t *testing.T) {
+	i187 := FeatureIndex(187, Raw)
+	i5n := FeatureIndex(5, Norm)
+	cases := []struct {
+		name string
+		csv  string
+		want []Sample
+		errs int
+	}{
+		{
+			name: "empty attribute cells",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_5_normalized,smart_187_raw\n" +
+				"2013-04-11,S1,M1,4000787030016,0,,17\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "blank capacity_bytes",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-04-11,S1,M1,,0,3\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1, Values: onehot(i187, 3)}},
+		},
+		{
+			name: "unknown extra smart columns",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_255_raw,smart_187_raw,bonus_column\n" +
+				"2013-04-11,S1,M1,0,0,999,17,x\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "reordered columns",
+			csv: "failure,smart_187_raw,model,serial_number,date,capacity_bytes\n" +
+				"1,17,M1,S1,2013-04-12,0\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 2, Failure: true, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "crlf line endings and trailing blank line",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\r\n" +
+				"2013-04-11,S1,M1,0,0,17\r\n" +
+				"\r\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "no final newline",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-04-11,S1,M1,0,0,17",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "quoted fields fall back to encoding/csv",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-04-11,\"SER,IAL\",\"M\"\"Q\",0,0,17\n",
+			want: []Sample{{Serial: "SER,IAL", Model: `M"Q`, Day: 1, Values: onehot(i187, 17)}},
+		},
+		{
+			name: "scientific notation and decimals",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw,smart_5_normalized\n" +
+				"2013-04-11,S1,M1,0,0,1.5e+07,99.25\n",
+			want: []Sample{{Serial: "S1", Model: "M1", Day: 1,
+				Values: onehot2(i187, 1.5e7, i5n, 99.25)}},
+		},
+		{
+			name: "bad date row skipped, next row parses",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-13-40,S1,M1,0,0,17\n" +
+				"2013-04-11,S2,M1,0,0,3\n",
+			want: []Sample{{Serial: "S2", Model: "M1", Day: 1, Values: onehot(i187, 3)}},
+			errs: 1,
+		},
+		{
+			name: "wrong field count skipped",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-04-11,S1,M1,0,0\n" +
+				"2013-04-11,S2,M1,0,0,3,extra\n" +
+				"2013-04-11,S3,M1,0,0,3\n",
+			want: []Sample{{Serial: "S3", Model: "M1", Day: 1, Values: onehot(i187, 3)}},
+			errs: 2,
+		},
+		{
+			name: "malformed value skipped",
+			csv: "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+				"2013-04-11,S1,M1,0,0,12abc\n" +
+				"2013-04-11,S2,M1,0,0,3\n",
+			want: []Sample{{Serial: "S2", Model: "M1", Day: 1, Values: onehot(i187, 3)}},
+			errs: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, errs := drainFast(t, tc.csv)
+			if len(errs) != tc.errs {
+				t.Fatalf("got %d row errors %v, want %d", len(errs), errs, tc.errs)
+			}
+			for _, err := range errs {
+				var re *RowError
+				if !errors.As(err, &re) {
+					t.Fatalf("row error has type %T, want *RowError", err)
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d rows, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i].Serial != tc.want[i].Serial || got[i].Model != tc.want[i].Model ||
+					got[i].Day != tc.want[i].Day || got[i].Failure != tc.want[i].Failure {
+					t.Fatalf("row %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+				for j := range got[i].Values {
+					if got[i].Values[j] != tc.want[i].Values[j] {
+						t.Fatalf("row %d value %d = %v, want %v", i, j, got[i].Values[j], tc.want[i].Values[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func onehot(i int, v float64) []float64 {
+	vals := make([]float64, NumFeatures())
+	vals[i] = v
+	return vals
+}
+
+func onehot2(i int, v float64, j int, w float64) []float64 {
+	vals := onehot(i, v)
+	vals[j] = w
+	return vals
+}
+
+// TestFastReaderMatchesReader is the differential check: on a corpus
+// both readers accept, FastReader must produce byte-for-byte the same
+// samples as the tolerant encoding/csv Reader.
+func TestFastReaderMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, map[string]int64{"MD1": 4000787030016})
+	for day := 0; day < 4; day++ {
+		for disk := 0; disk < 7; disk++ {
+			s := Sample{
+				Serial: fmt.Sprintf("SER-%03d", disk),
+				Model:  "MD1",
+				Day:    day,
+				Values: make([]float64, NumFeatures()),
+			}
+			for i := range s.Values {
+				s.Values[i] = math.Round(float64(day*100+disk*i)*7.3) / 4 // mixes integers and decimals
+			}
+			if disk == 3 && day == 3 {
+				s.Failure = true
+			}
+			if err := w.Write(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	slow, err := NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := slow.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := drainFast(t, data)
+	if len(errs) != 0 {
+		t.Fatalf("row errors on clean corpus: %v", errs)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fast reader got %d rows, slow reader %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Serial != want[i].Serial || got[i].Model != want[i].Model ||
+			got[i].Day != want[i].Day || got[i].Failure != want[i].Failure {
+			t.Fatalf("row %d differs: fast %+v slow %+v", i, got[i], want[i])
+		}
+		for j := range got[i].Values {
+			if got[i].Values[j] != want[i].Values[j] {
+				t.Fatalf("row %d value %d: fast %v slow %v", i, j, got[i].Values[j], want[i].Values[j])
+			}
+		}
+	}
+}
+
+// TestFastDayMatchesDateToDay sweeps the fast date parser against the
+// time.Parse-backed DateToDay across several decades, including both
+// leap-year shapes, plus the reject cases.
+func TestFastDayMatchesDateToDay(t *testing.T) {
+	fr, err := NewFastReader(strings.NewReader(fullHeader() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := -15000; day < 15000; day += 13 { // ~1972 to ~2054
+		date := DayToDate(day)
+		got, ok := fr.fastDay([]byte(date))
+		if !ok {
+			t.Fatalf("fastDay rejected %q", date)
+		}
+		if got != day {
+			t.Fatalf("fastDay(%q) = %d, want %d", date, got, day)
+		}
+	}
+	for _, bad := range []string{
+		"2013-02-29", "2100-02-29", "2013-00-10", "2013-13-01", "2013-04-00",
+		"2013-04-31", "13-04-10", "2013/04/10", "2013-4-10", "x013-04-10", "",
+	} {
+		if _, err := DateToDay(bad); err == nil {
+			t.Fatalf("DateToDay accepted %q; test case is wrong", bad)
+		}
+		if _, ok := fr.fastDay([]byte(bad)); ok {
+			t.Fatalf("fastDay accepted %q, DateToDay rejects it", bad)
+		}
+	}
+	// 2000-02-29 and 2012-02-29 are valid leap days both must accept.
+	for _, good := range []string{"2000-02-29", "2012-02-29"} {
+		want, err := DateToDay(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := fr.fastDay([]byte(good))
+		if !ok || got != want {
+			t.Fatalf("fastDay(%q) = %d,%v want %d", good, got, ok, want)
+		}
+	}
+}
+
+// TestFastReaderZeroAlloc asserts the acceptance criterion: steady-state
+// row decoding allocates nothing once serials/models are interned and
+// Values is preallocated.
+func TestFastReaderZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nil)
+	for day := 0; day < 2; day++ {
+		for disk := 0; disk < 4; disk++ {
+			s := Sample{Serial: fmt.Sprintf("S%d", disk), Model: "M", Day: day,
+				Values: make([]float64, NumFeatures())}
+			for i := range s.Values {
+				s.Values[i] = float64(i*disk + day) // integer cells: the steady-state shape
+			}
+			if err := w.Write(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	rd := bytes.NewReader(data)
+	fr, err := NewFastReader(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Sample
+	// Warm up: intern the strings, size the scratch.
+	for fr.Read(&s) == nil {
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		rd.Reset(data)
+		if err := fr.SeekTo(fr.headerEnd, 0); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if err := fr.Read(&s); err != nil {
+				if err == io.EOF {
+					return
+				}
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Read allocates %.1f times per file pass, want 0", avg)
+	}
+}
+
+// TestFastReaderSeekTo proves the resume contract: seeking to a saved
+// (offset, rows) watermark replays exactly the remaining suffix.
+func TestFastReaderSeekTo(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nil)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(Sample{Serial: fmt.Sprintf("S%d", i), Model: "M", Day: i,
+			Values: make([]float64, NumFeatures())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fr, err := NewFastReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Sample
+	for i := 0; i < 4; i++ {
+		if err := fr.Read(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark, rows := fr.Offset(), fr.Rows()
+	if rows != 4 {
+		t.Fatalf("rows = %d, want 4", rows)
+	}
+	var rest []string
+	for fr.Read(&s) == nil {
+		rest = append(rest, s.Serial)
+	}
+
+	if err := fr.SeekTo(mark, rows); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Rows() != rows || fr.Offset() != mark {
+		t.Fatalf("after SeekTo: rows=%d off=%d, want %d/%d", fr.Rows(), fr.Offset(), rows, mark)
+	}
+	var resumed []string
+	for fr.Read(&s) == nil {
+		resumed = append(resumed, s.Serial)
+	}
+	if strings.Join(resumed, ",") != strings.Join(rest, ",") {
+		t.Fatalf("resumed suffix %v != original suffix %v", resumed, rest)
+	}
+}
+
+// TestFastReaderLongLine exercises the buffer-spill path with a row far
+// longer than the scan buffer.
+func TestFastReaderLongLine(t *testing.T) {
+	long := strings.Repeat("x", 10000)
+	data := "date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+		"2013-04-11," + long + ",M,0,0,17\n" +
+		"2013-04-11,S2,M,0,0,3\n"
+	fr, err := NewFastReaderSize(strings.NewReader(data), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Sample
+	if err := fr.Read(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Serial != long {
+		t.Fatalf("long serial mangled (len %d)", len(s.Serial))
+	}
+	if err := fr.Read(&s); err != nil || s.Serial != "S2" {
+		t.Fatalf("row after spill: %v %q", err, s.Serial)
+	}
+}

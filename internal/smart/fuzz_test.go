@@ -7,10 +7,11 @@ import (
 	"testing"
 )
 
-// FuzzCSVReader feeds arbitrary bytes through the Backblaze CSV reader:
-// it must either return a clean error or parse rows without panicking,
-// and parsed rows must carry a full-width value vector.
-func FuzzCSVReader(f *testing.F) {
+// csvSeeds is the shared fuzz corpus: valid rows, the real-world
+// Backblaze quirks (empty cells, unknown smart_* columns, blank
+// capacity, CRLF, quoting), and malformed shapes the readers must
+// survive.
+func csvSeeds(f *testing.F) {
 	f.Add("date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
 		"2013-04-11,SER1,M,0,0,17\n")
 	f.Add("date,serial_number,model,capacity_bytes,failure\n2013-04-11,S,M,0,1\n")
@@ -18,6 +19,25 @@ func FuzzCSVReader(f *testing.F) {
 	f.Add("")
 	f.Add("date,serial_number,model,capacity_bytes,failure,smart_5_raw\n" +
 		"2013-04-11,S,M,0,0,NaN\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_5_raw,smart_255_raw\n" +
+		"2013-04-11,S,M,,0,,12345\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_187_raw\r\n" +
+		"2013-04-11,\"S,1\",\"M\"\"Q\",4000787030016,0,1.5e+07\r\n\r\n")
+	f.Add("failure,model,serial_number,date,capacity_bytes,smart_9_raw\n" +
+		"1,M,S,2016-02-29,0,21003\n" +
+		"0,M,S2,2016-03-01,0,-3.25\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_187_raw\n" +
+		"2013-04-11,S,M,0,0,17,extra\n" +
+		"2013-04-11,S,M,0\n" +
+		"2013-99-99,S,M,0,0,17\n" +
+		"2013-04-11,S,M,0,0,999999999999999999999999\n")
+}
+
+// FuzzCSVReader feeds arbitrary bytes through the Backblaze CSV reader:
+// it must either return a clean error or parse rows without panicking,
+// and parsed rows must carry a full-width value vector.
+func FuzzCSVReader(f *testing.F) {
+	csvSeeds(f)
 	f.Fuzz(func(t *testing.T, data string) {
 		r, err := NewReader(strings.NewReader(data))
 		if err != nil {
@@ -30,6 +50,57 @@ func FuzzCSVReader(f *testing.F) {
 			}
 			if len(s.Values) != NumFeatures() {
 				t.Fatalf("parsed row has %d values", len(s.Values))
+			}
+		}
+	})
+}
+
+// FuzzFastCSVReader is the differential fuzzer for the backfill fast
+// path: wherever the tolerant encoding/csv Reader parses a row cleanly,
+// FastReader must produce the identical sample; where Reader fails, the
+// FastReader may skip the row but must never panic or mis-parse. The
+// comparison only runs while both readers agree row-for-row — after the
+// first divergence in error behavior (the tolerant reader treats some
+// malformed shapes as fatal where the fast reader skips and continues)
+// the fast reader is just driven to completion for crash coverage.
+func FuzzFastCSVReader(f *testing.F) {
+	csvSeeds(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		slow, serr := NewReader(strings.NewReader(data))
+		fast, ferr := NewFastReader(strings.NewReader(data))
+		if (serr == nil) != (ferr == nil) {
+			// Header acceptance must agree: both use buildColMap. The only
+			// tolerated split is a quoting shape encoding/csv accepts
+			// mid-quirk; there is none for a single header line.
+			t.Fatalf("header disagreement: slow=%v fast=%v", serr, ferr)
+		}
+		if serr != nil {
+			return
+		}
+		var fs Sample
+		for i := 0; i < 1000; i++ {
+			ss, serr := slow.Read()
+			ferr := fast.Read(&fs)
+			if serr != nil || ferr != nil {
+				// Error behavior diverges by design (fast skips rows the
+				// tolerant reader reports fatally, and vice-versa the
+				// tolerant reader zero-fills some shapes). Stop comparing;
+				// drive the fast reader dry for panic coverage.
+				for j := 0; j < 1000 && fast.Read(&fs) != io.EOF; j++ {
+				}
+				return
+			}
+			if len(fs.Values) != NumFeatures() {
+				t.Fatalf("fast row has %d values", len(fs.Values))
+			}
+			if fs.Serial != ss.Serial || fs.Model != ss.Model || fs.Day != ss.Day || fs.Failure != ss.Failure {
+				t.Fatalf("row %d metadata differs: fast %+v slow %+v", i, fs, ss)
+			}
+			for j := range fs.Values {
+				fv, sv := fs.Values[j], ss.Values[j]
+				if fv != sv && !(fv != fv && sv != sv) { // NaN == NaN for this comparison
+					t.Fatalf("row %d value %d differs: fast %v slow %v", i, j, fv, sv)
+				}
 			}
 		}
 	})

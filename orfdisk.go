@@ -232,6 +232,28 @@ func (p *Predictor) Ingest(obs Observation) (Prediction, error) {
 	}, nil
 }
 
+// Absorb processes one observation exactly like Ingest but skips the
+// live risk prediction. Scoring is a pure read (the forest, scaler and
+// labeling queues only move on updates), so after Absorb the predictor
+// is in bit-for-bit the state an Ingest of the same observation would
+// have left — minus the dominant PredictProba tree walk. Bulk replay
+// (internal/backfill) runs on this path: historical rows need the
+// model's state, not day-by-day alarms.
+func (p *Predictor) Absorb(obs Observation) error {
+	if len(obs.Values) != smart.NumFeatures() {
+		return fmt.Errorf(
+			"orfdisk: observation carries %d values, want the %d-feature catalog",
+			len(obs.Values), smart.NumFeatures())
+	}
+	x := p.project(obs.Values)
+	p.scaler.Observe(x)
+	p.labeler.Observe(obs.Serial, x, obs.Day)
+	if obs.Failed {
+		p.labeler.Fail(obs.Serial)
+	}
+	return nil
+}
+
 // IngestBatch processes a slice of observations in order, exactly as the
 // equivalent sequence of Ingest calls would (predictions interleave with
 // model updates, so observation i+1 is scored by a model that has seen

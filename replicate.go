@@ -100,13 +100,27 @@ func (e *Engine) applyReplicatedRecord(seq uint64, payload []byte) error {
 		return err
 	}
 	switch rec.kind {
-	case recObserve, recObserveV2:
+	case recCursor:
+		// Backfill cursor records carry no model state; the follower just
+		// tracks the resume point so a promoted follower can continue an
+		// interrupted backfill exactly like a restarted leader.
+		e.noteCursorRecord(seq, rec.cur)
+		return nil
+	case recObserve, recObserveV2, recObserveBF:
+		if rec.kind == recObserveBF {
+			e.noteBackfillRecord(seq)
+		}
 		e.mu.Lock()
 		e.modelOf[rec.obs.Serial] = rec.obs.Model
 		e.mu.Unlock()
 		var ierr error
 		if err := e.pool.Do(rec.obs.Model, func(s *shardState) {
-			_, ierr = s.p.Ingest(rec.obs.Observation)
+			if rec.kind == recObserveBF {
+				// Mirror the leader's scoring-free apply (identical state).
+				ierr = s.p.Absorb(rec.obs.Observation)
+			} else {
+				_, ierr = s.p.Ingest(rec.obs.Observation)
+			}
 			s.lastSeq = seq
 			if s.firstUnsnapped == 0 {
 				s.firstUnsnapped = seq
