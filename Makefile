@@ -66,20 +66,25 @@ bench-predict-smoke:
 	$(GO) test ./internal/core . -run '^$$' -short -bench '$(PREDICT_BATCH_BENCH)' -benchmem -count=3 -benchtime=1s -timeout 15m \
 		| $(GO) run ./cmd/benchjson -check BENCH_predict.json -match '/smoke/' -tol 0.25
 
-# Replication-path perf baseline: live-tail shipping throughput and the
-# cold-follower catch-up (restart / re-seed) path, recorded in
-# BENCH_replicate.json like the other baselines.
+# Replication-path perf baseline: live-tail shipping throughput (async
+# and per-write synchronous-commit variants) and the cold-follower
+# catch-up (restart) path. Records BOTH regimes — full (headline
+# numbers) and smoke (the -short sizes bench-replicate-smoke gates
+# against) — into BENCH_replicate.json.
 REPLICATE_BENCH = BenchmarkReplicationShip|BenchmarkFollowerCatchup
 
 bench-replicate:
-	$(GO) test ./internal/replica -run '^$$' -bench '$(REPLICATE_BENCH)' -benchmem -count=5 -benchtime=1s \
+	( $(GO) test ./internal/replica -run '^$$' -bench '$(REPLICATE_BENCH)' -benchmem -count=5 -benchtime=1s && \
+	  $(GO) test ./internal/replica -run '^$$' -short -bench '$(REPLICATE_BENCH)' -benchmem -count=5 -benchtime=1s ) \
 		| $(GO) run ./cmd/benchjson -o BENCH_replicate.json
 
-# One-iteration smoke of the replication benchmarks (-short shrinks the
-# catch-up backlog): proves the ship/catch-up paths run, measures
-# nothing.
+# Replication smoke gate: re-measure the smoke regime (small catch-up
+# backlog, same ship paths — sync-ack variant included) and fail on a
+# >25% ns/op regression against the committed baseline's /smoke/
+# entries.
 bench-replicate-smoke:
-	$(GO) test ./internal/replica -run '^$$' -short -bench '$(REPLICATE_BENCH)' -benchtime=1x
+	$(GO) test ./internal/replica -run '^$$' -short -bench '$(REPLICATE_BENCH)' -benchmem -count=3 -benchtime=1s \
+		| $(GO) run ./cmd/benchjson -check BENCH_replicate.json -match '/smoke/' -tol 0.25
 
 # Historical-replay perf baseline: the cmd/orfload backfill pipeline
 # (parallel readers + chronological merge + scoring-free batched

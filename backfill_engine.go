@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Engine-side half of the bulk backfill path (the loader pipeline lives
@@ -218,11 +219,22 @@ func (e *Engine) IngestBackfill(batch []FleetObservation, cur *BackfillCursor) e
 
 // submitBlocking enqueues fn on model's shard, waiting out ErrBusy: the
 // bounded mailbox is the pipeline's backpressure, not a shed signal.
+// The retry sleeps (1 ms doubling to a 50 ms cap) instead of spinning —
+// a full mailbox means the worker is busy for many milliseconds, and a
+// hot Submit loop would burn the core the worker needs to drain it.
 func (e *Engine) submitBlocking(model string, fn func(*shardState)) error {
+	backoff := time.Millisecond
 	for {
 		err := e.pool.Submit(model, fn)
 		if !errors.Is(err, ErrBusy) {
 			return err
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+			if backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
 		}
 	}
 }

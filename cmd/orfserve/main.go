@@ -57,6 +57,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -82,8 +83,10 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "separate admin listener for /metrics and pprof; empty serves /metrics on -addr")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -metrics-addr)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
-		replAddr    = flag.String("replicate-addr", "", "leader: listen here for follower replicas and ship the WAL (requires -data)")
+		replAddr    = flag.String("replicate-addr", "", "leader: listen here for follower replicas and ship the WAL (requires -data); on a -follow instance the listener starts at promotion")
 		follow      = flag.String("follow", "", "follower: replicate from the leader's -replicate-addr; this instance becomes a read replica (requires -data)")
+		syncAcks    = flag.Int("sync-acks", 0, "synchronous commit: each write blocks until this many followers have fsync-acked it (0 = asynchronous; requires -replicate-addr)")
+		syncAckTO   = flag.Duration("sync-ack-timeout", 5*time.Second, "synchronous commit: give up waiting for follower acks after this long (the write stays durable locally; clients get 503 + Retry-After)")
 		readyMaxLag = flag.Uint64("ready-max-lag", 256, "follower: /readyz reports not-ready while replication lag exceeds this many records")
 		readyMaxSil = flag.Duration("ready-max-silence", 15*time.Second, "follower: /readyz reports not-ready after this long without any leader frame (catches dead streams that freeze the lag at zero)")
 	)
@@ -103,8 +106,8 @@ func main() {
 		logger.Error("replication requires -data (the WAL is what gets shipped)")
 		os.Exit(2)
 	}
-	if *replAddr != "" && *follow != "" {
-		logger.Error("-replicate-addr and -follow are mutually exclusive (chained replication is not supported)")
+	if *syncAcks > 0 && *replAddr == "" {
+		logger.Error("-sync-acks requires -replicate-addr (followers ack over the ship listener)")
 		os.Exit(2)
 	}
 
@@ -123,6 +126,8 @@ func main() {
 		Follower:        *follow != "",
 		ReadyMaxLag:     *readyMaxLag,
 		ReadyMaxSilence: *readyMaxSil,
+		SyncAcks:        *syncAcks,
+		SyncAckTimeout:  *syncAckTO,
 		Metrics:         reg,
 		Logger:          logger,
 	})
@@ -133,39 +138,104 @@ func main() {
 	srv := orfdisk.NewServerWithEngine(eng)
 	srv.SetBatchLimits(*batchBytes, *batchItems)
 
-	var src *replica.Source
-	if *replAddr != "" {
-		src, err = replica.NewSource(*replAddr, replica.SourceConfig{
-			WAL:     eng.WAL(),
-			Metrics: reg,
-			Logger:  logger,
+	// The replication topology can change at runtime (promotion starts a
+	// ship listener; POST /v1/follow swaps the replication client), so
+	// both handles live behind a mutex.
+	var (
+		replMu sync.Mutex
+		src    *replica.Source
+		fl     *replica.Follower
+	)
+	// startSource opens the WAL-ship listener and attaches it to the
+	// engine as the sync-commit ack waiter and the advertised
+	// replicate_addr (so a routing tier can re-point followers here).
+	startSource := func() error {
+		s, err := replica.NewSource(*replAddr, replica.SourceConfig{
+			WAL:          eng.WAL(),
+			SeedProvider: eng,
+			Metrics:      reg,
+			Logger:       logger,
 		})
 		if err != nil {
+			return err
+		}
+		replMu.Lock()
+		src = s
+		replMu.Unlock()
+		eng.SetAckWaiter(s)
+		eng.SetReplicationSourceAddr(s.Addr())
+		logger.Info("shipping WAL to followers", "addr", s.Addr(), "sync_acks", *syncAcks)
+		return nil
+	}
+	if *replAddr != "" && *follow == "" {
+		if err := startSource(); err != nil {
 			logger.Error("replication listener failed", "addr", *replAddr, "err", err)
 			os.Exit(1)
 		}
-		logger.Info("shipping WAL to followers", "addr", src.Addr())
 	}
 	if *follow != "" {
-		fl, err := replica.StartFollower(*follow, replica.FollowerConfig{
-			Applier: eng,
-			Metrics: reg,
-			Logger:  logger,
-		})
+		startFollower := func(leader string) (*replica.Follower, error) {
+			return replica.StartFollower(leader, replica.FollowerConfig{
+				Applier: eng,
+				Seeder:  eng,
+				Metrics: reg,
+				Logger:  logger,
+			})
+		}
+		fl, err = startFollower(*follow)
 		if err != nil {
 			logger.Error("starting replication client failed", "leader", *follow, "err", err)
 			os.Exit(1)
 		}
-		// Promotion (POST /v1/promote) ends the old life first: stop
-		// pulling from the dead leader before the engine takes writes.
-		eng.OnPromote(func() {
-			logger.Info("promotion: stopping replication client", "leader", *follow)
-			fl.Close()
+		// POST /v1/follow re-points this follower at a new leader (the
+		// routing tier calls it on survivors after a failover): stop the
+		// old stream, then dial the new address.
+		srv.SetFollowControl(func(leader string) error {
+			if eng.Replication().Role != "follower" {
+				return fmt.Errorf("not a follower: refusing to re-point")
+			}
+			replMu.Lock()
+			defer replMu.Unlock()
+			if fl != nil {
+				fl.Close()
+				fl = nil
+			}
+			nf, err := startFollower(leader)
+			if err != nil {
+				return err
+			}
+			fl = nf
+			logger.Info("re-pointed replication client", "leader", leader)
+			return nil
 		})
-		defer fl.Close()
+		// Promotion (POST /v1/promote) ends the old life first: stop
+		// pulling from the dead leader before the engine takes writes,
+		// then — when configured — start shipping to the survivors.
+		eng.OnPromote(func() {
+			logger.Info("promotion: stopping replication client")
+			replMu.Lock()
+			old := fl
+			fl = nil
+			replMu.Unlock()
+			if old != nil {
+				old.Close()
+			}
+			if *replAddr != "" {
+				if err := startSource(); err != nil {
+					logger.Error("promotion: replication listener failed", "addr", *replAddr, "err", err)
+				}
+			}
+		})
 		logger.Info("following leader", "leader", *follow,
 			"ready_max_lag", *readyMaxLag, "ready_max_silence", *readyMaxSil)
 	}
+	defer func() {
+		replMu.Lock()
+		defer replMu.Unlock()
+		if fl != nil {
+			fl.Close()
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -231,9 +301,11 @@ func main() {
 	<-shutdownDone
 	// Stop shipping before closing the engine: the source tails the
 	// engine's WAL.
+	replMu.Lock()
 	if src != nil {
 		src.Close()
 	}
+	replMu.Unlock()
 	// Drain shard mailboxes, take the final snapshot, close the WAL.
 	if err := srv.Close(); err != nil {
 		logger.Error("close failed", "err", err)

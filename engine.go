@@ -89,6 +89,16 @@ type Engine struct {
 	promoteMu       sync.Mutex
 	onPromote       []func()
 
+	// Synchronous commit (see replicate.go): with syncAcks > 0 a leader
+	// write returns only after that many followers fsync-ack its WAL
+	// sequence number, via the attached ackWaiter (the replication
+	// source). replAddr is the source's listener address, reported in
+	// /v1/replication so the routing tier can re-point followers.
+	syncAcks       int
+	syncAckTimeout time.Duration
+	ackWaiter      atomic.Pointer[AckWaiter]
+	replAddr       atomic.Value // string
+
 	stop      chan struct{}
 	tickDone  chan struct{}
 	closeOnce sync.Once
@@ -146,6 +156,15 @@ type EngineConfig struct {
 	// is at its stalest; silence is the signal that catches it. Leaders
 	// ignore it.
 	ReadyMaxSilence time.Duration
+	// SyncAcks, when positive, makes leader writes synchronous: Ingest,
+	// IngestBatch and Retire return only after this many followers have
+	// fsync-acknowledged the write's WAL records (via the AckWaiter
+	// attached with SetAckWaiter). A write that times out waiting
+	// returns ErrSyncUnacked — durable locally, indeterminate across
+	// the group. Requires DataDir. 0 keeps replication asynchronous.
+	SyncAcks int
+	// SyncAckTimeout bounds one synchronous-commit wait (default 5 s).
+	SyncAckTimeout time.Duration
 	// Metrics receives the engine's instrumentation (engine_*, wal_*
 	// and per-model families; the HTTP layer adds http_* when serving).
 	// Nil creates a private registry, reachable via MetricsRegistry.
@@ -227,6 +246,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Follower && cfg.DataDir == "" {
 		return nil, fmt.Errorf("orfdisk: follower mode requires a DataDir (acks promise durability)")
 	}
+	if cfg.SyncAcks > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("orfdisk: SyncAcks requires a DataDir (synchronous commit replicates the WAL)")
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -260,6 +282,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.readyMaxSilence = cfg.ReadyMaxSilence
 	if e.readyMaxSilence == 0 {
 		e.readyMaxSilence = 15 * time.Second
+	}
+	e.syncAcks = cfg.SyncAcks
+	e.syncAckTimeout = cfg.SyncAckTimeout
+	if e.syncAckTimeout <= 0 {
+		e.syncAckTimeout = 5 * time.Second
 	}
 	e.pool = engine.New(engine.Config{
 		Mailbox:        cfg.Mailbox,
@@ -530,11 +557,18 @@ func (e *Engine) Ingest(obs FleetObservation) (Prediction, error) {
 	var (
 		pred Prediction
 		ierr error
+		seq  uint64
 	)
 	if err := e.pool.Do(obs.Model, func(s *shardState) {
 		pred, ierr = e.apply(s, obs)
+		seq = s.lastSeq
 	}); err != nil {
 		return Prediction{}, err
+	}
+	if ierr == nil {
+		if err := e.waitSyncAcks(seq); err != nil {
+			return pred, err
+		}
 	}
 	return pred, ierr
 }
@@ -608,13 +642,23 @@ func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
 		}
 		sc.idxs[k] = append(sc.idxs[k], i)
 	}
+	// Synchronous commit waits once per batch, on the highest sequence
+	// number any group logged; the slice is only allocated when the
+	// mode is on so the async path stays allocation-free here.
+	var maxSeqs []uint64
+	if e.syncAcks > 0 {
+		maxSeqs = make([]uint64, len(sc.order))
+	}
 	var wg sync.WaitGroup
 	for k, model := range sc.order {
-		idxs := sc.idxs[k]
+		k, idxs := k, sc.idxs[k]
 		wg.Add(1)
 		err := e.pool.Submit(model, func(s *shardState) {
 			defer wg.Done()
 			e.applyBatch(s, batch, idxs, res)
+			if maxSeqs != nil {
+				maxSeqs[k] = s.lastSeq
+			}
 		})
 		if err != nil {
 			wg.Done()
@@ -625,6 +669,33 @@ func (e *Engine) IngestBatch(batch []FleetObservation) []BatchResult {
 	}
 	wg.Wait()
 	e.scratch.Put(sc)
+	if maxSeqs != nil {
+		var maxSeq uint64
+		anyOK := false
+		for i := range res {
+			if res[i].Err == nil {
+				anyOK = true
+				break
+			}
+		}
+		for _, s := range maxSeqs {
+			if s > maxSeq {
+				maxSeq = s
+			}
+		}
+		if anyOK && maxSeq > 0 {
+			if err := e.waitSyncAcks(maxSeq); err != nil {
+				// Every record IS durable locally; the acknowledged-
+				// replication guarantee is what failed, so every item
+				// that would otherwise report success reports that.
+				for i := range res {
+					if res[i].Err == nil {
+						res[i].Err = err
+					}
+				}
+			}
+		}
+	}
 	return res
 }
 
@@ -640,18 +711,22 @@ func (e *Engine) Retire(serial string) error {
 	if !ok {
 		return nil
 	}
-	var ierr error
+	var (
+		ierr error
+		seq  uint64
+	)
 	if err := e.pool.Do(model, func(s *shardState) {
 		if e.wal != nil {
-			seq, err := e.wal.Append(encodeRetireRecord(model, serial))
+			sq, err := e.wal.Append(encodeRetireRecord(model, serial))
 			if err != nil {
 				ierr = err
 				return
 			}
-			s.lastSeq = seq
+			s.lastSeq = sq
 			if s.firstUnsnapped == 0 {
-				s.firstUnsnapped = seq
+				s.firstUnsnapped = sq
 			}
+			seq = sq
 		}
 		s.p.Retire(serial)
 		e.mu.Lock()
@@ -660,7 +735,10 @@ func (e *Engine) Retire(serial string) error {
 	}); err != nil {
 		return err
 	}
-	return ierr
+	if ierr != nil {
+		return ierr
+	}
+	return e.waitSyncAcks(seq)
 }
 
 // Models returns the drive models with live shards, sorted.
@@ -832,6 +910,12 @@ const (
 func (e *Engine) recover() error {
 	dir := e.cfg.DataDir
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// A crash mid-seed-install leaves a commit marker (and possibly a
+	// half-swapped file set); finish or discard it before reading any
+	// state files (see reseed.go).
+	if err := e.completeSeedInstall(); err != nil {
 		return err
 	}
 	entries, err := os.ReadDir(dir)

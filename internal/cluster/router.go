@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,12 @@ type Config struct {
 	// FailAfter is how many consecutive failed leader probes trigger a
 	// follower promotion (default 3).
 	FailAfter int
+	// DemoteTimeout bounds each fencing call (POST /v1/demote) and each
+	// post-promotion re-point (POST /v1/follow) with its own context
+	// deadline (default 2 s). Without it a black-holed node would pin a
+	// fence for the Client's full timeout while the group runs
+	// leaderless.
+	DemoteTimeout time.Duration
 	// Client performs all upstream requests (default: 5 s timeout).
 	Client *http.Client
 	// Metrics receives route_requests_total and router_* families. Nil
@@ -48,6 +55,9 @@ func (c *Config) fill() {
 	}
 	if c.FailAfter <= 0 {
 		c.FailAfter = 3
+	}
+	if c.DemoteTimeout <= 0 {
+		c.DemoteTimeout = 2 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 5 * time.Second}
@@ -122,7 +132,9 @@ type Router struct {
 
 	requests   *metrics.CounterVec // route_requests_total{node,outcome}
 	promotions *metrics.Counter
-	demotions  *metrics.Counter
+	demotions  *metrics.CounterVec // router_demotions_total{outcome}
+	repoints   *metrics.CounterVec // router_repoints_total{outcome}
+	retries    *metrics.Counter
 	reg        *metrics.Registry
 
 	stop chan struct{}
@@ -157,8 +169,14 @@ func New(specs []GroupSpec, cfg Config) (*Router, error) {
 			"node", "outcome"),
 		promotions: reg.Counter("router_promotions_total",
 			"Follower promotions the router has triggered after leader health failures."),
-		demotions: reg.Counter("router_demotions_total",
-			"Old-leader fences (POST /v1/demote) the router has issued during failover."),
+		demotions: reg.CounterVec("router_demotions_total",
+			"Old-leader fences (POST /v1/demote) issued during failover, by outcome (ok, rejected, unreachable).",
+			"outcome"),
+		repoints: reg.CounterVec("router_repoints_total",
+			"Post-promotion follower re-points (POST /v1/follow), by outcome (ok, rejected, unreachable).",
+			"outcome"),
+		retries: reg.Counter("router_write_retries_total",
+			"Upstream writes retried after a 503 carrying Retry-After."),
 		reg:  reg,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -231,45 +249,107 @@ func (rt *Router) probe(n *node, path string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// roleOf probes a node's replication role ("leader" / "follower").
-// ok=false when the node is unreachable or does not expose the
-// endpoint; callers must treat unknown as "leave it alone".
-func (rt *Router) roleOf(n *node) (string, bool) {
+// upstreamRepl is the slice of a node's /v1/replication answer the
+// router acts on.
+type upstreamRepl struct {
+	Role          string `json:"role"`
+	ReplicateAddr string `json:"replicate_addr"`
+}
+
+// replicationOf probes a node's replication status. ok=false when the
+// node is unreachable or does not expose the endpoint; callers must
+// treat unknown as "leave it alone".
+func (rt *Router) replicationOf(n *node) (upstreamRepl, bool) {
+	var st upstreamRepl
 	resp, err := rt.cfg.Client.Get(n.url + "/v1/replication")
 	if err != nil {
-		return "", false
+		return st, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
-		return "", false
-	}
-	var st struct {
-		Role string `json:"role"`
+		return st, false
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return "", false
+		return st, false
 	}
-	return st.Role, true
+	return st, true
 }
 
-// demote fences a node: best-effort POST /v1/demote so it stops
-// accepting writes. Returns whether the node acknowledged the fence.
-func (rt *Router) demote(g *group, n *node, why string) bool {
-	resp, err := rt.cfg.Client.Post(n.url+"/v1/demote", "application/json", nil)
+// roleOf probes a node's replication role ("leader" / "follower").
+func (rt *Router) roleOf(n *node) (string, bool) {
+	st, ok := rt.replicationOf(n)
+	return st.Role, ok
+}
+
+// postCtl issues one control-plane POST (fence, re-point) under its
+// own DemoteTimeout deadline, so a black-holed node cannot pin a
+// failover for the data-path Client's full timeout. Returns the status
+// and a nil error only when the request completed.
+func (rt *Router) postCtl(url string, body []byte) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.DemoteTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
 	if err != nil {
-		rt.cfg.Logger.Warn("fence: demote unreachable", "group", g.name, "node", n.url, "reason", why, "err", err)
-		return false
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		rt.cfg.Logger.Warn("fence: demote rejected", "group", g.name, "node", n.url, "reason", why, "status", resp.StatusCode)
+	return resp.StatusCode, nil
+}
+
+// demote fences a node: best-effort POST /v1/demote so it stops
+// accepting writes. Returns whether the node acknowledged the fence;
+// every attempt lands in router_demotions_total{outcome} so silent
+// fence failures show up on dashboards instead of only in logs.
+func (rt *Router) demote(g *group, n *node, why string) bool {
+	status, err := rt.postCtl(n.url+"/v1/demote", nil)
+	if err != nil {
+		rt.demotions.With("unreachable").Inc()
+		rt.cfg.Logger.Warn("fence: demote unreachable", "group", g.name, "node", n.url, "reason", why, "err", err)
 		return false
 	}
-	rt.demotions.Inc()
+	if status != http.StatusOK {
+		rt.demotions.With("rejected").Inc()
+		rt.cfg.Logger.Warn("fence: demote rejected", "group", g.name, "node", n.url, "reason", why, "status", status)
+		return false
+	}
+	rt.demotions.With("ok").Inc()
 	rt.cfg.Logger.Warn("fenced node (demoted)", "group", g.name, "node", n.url, "reason", why)
 	return true
+}
+
+// repoint asks a surviving follower to re-point its replication stream
+// at the new leader's ship address (POST /v1/follow). Best-effort: a
+// node that predates follow control answers 501 and keeps its old
+// behavior (stale stream, not-ready, operator restart).
+func (rt *Router) repoint(g *group, n *node, addr, newLeader string) {
+	body, _ := json.Marshal(map[string]string{"addr": addr})
+	status, err := rt.postCtl(n.url+"/v1/follow", body)
+	if err != nil {
+		rt.repoints.With("unreachable").Inc()
+		rt.cfg.Logger.Warn("re-point unreachable; restart the follower with -follow pointed at the new leader",
+			"group", g.name, "follower", n.url, "new_leader", newLeader, "err", err)
+		return
+	}
+	if status != http.StatusOK {
+		rt.repoints.With("rejected").Inc()
+		rt.cfg.Logger.Warn("re-point rejected; restart the follower with -follow pointed at the new leader",
+			"group", g.name, "follower", n.url, "new_leader", newLeader, "status", status)
+		return
+	}
+	rt.repoints.With("ok").Inc()
+	rt.cfg.Logger.Warn("re-pointed surviving follower at new leader",
+		"group", g.name, "follower", n.url, "new_leader", newLeader, "replicate_addr", addr)
 }
 
 func (rt *Router) probeGroup(g *group) {
@@ -354,12 +434,18 @@ func (rt *Router) probeGroup(g *group) {
 	rt.promotions.Inc()
 	rt.cfg.Logger.Warn("promoted follower to leader",
 		"group", g.name, "dead_leader", ln.url, "new_leader", target.url)
-	// orfserve's -follow address is static: surviving followers keep
-	// replicating from the dead leader and will sit at not-ready (silence
-	// gate) until an operator re-points them. Say so explicitly instead
-	// of letting the group quietly run with zero real replicas.
+	// Surviving followers still replicate from the dead leader and would
+	// sit at not-ready (silence gate) forever. Ask the new leader where
+	// it ships from and re-point each survivor over POST /v1/follow; when
+	// the new leader does not expose a ship address (replication source
+	// disabled, or an old build), fall back to the operator warning.
+	st, ok := rt.replicationOf(target)
 	for i, n := range nodes {
 		if i == cand || i == leader {
+			continue
+		}
+		if ok && st.ReplicateAddr != "" {
+			rt.repoint(g, n, st.ReplicateAddr, target.url)
 			continue
 		}
 		rt.cfg.Logger.Warn("surviving follower still replicates from the dead leader; restart it with -follow pointed at the new leader",
@@ -390,10 +476,60 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
 }
 
+// writeJSONOK encodes v fully before writing so an encode failure
+// becomes a clean 500 rather than a 200 header stapled to a truncated
+// body.
+func writeJSONOK(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b = append(b, '\n')
+	w.Write(b) //nolint:errcheck
+}
+
+// writeAppliedHeader marks a 503 whose write IS durable on the leader
+// (a synchronous-commit ack timeout): the router must not replay it.
+const writeAppliedHeader = "X-Orf-Write-Applied"
+
+// retryAfter parses a Retry-After seconds value, capped at 2 s so a
+// misbehaving upstream cannot stall a router handler goroutine.
+func retryAfter(hdr http.Header) (time.Duration, bool) {
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d, true
+}
+
 // forward proxies one request body to node and copies the response
 // through, counting route_requests_total{node,outcome}.
 func (rt *Router) forward(w http.ResponseWriter, n *node, method, path string, body []byte) {
 	status, hdr, respBody, err := rt.do(n, method, path, body)
+	// One polite retry on an overloaded-but-honest upstream: a 503 with
+	// Retry-After means "again shortly" (mailbox shed, sync-ack timeout).
+	// Never retry when the upstream marked the write as already applied
+	// — replaying it would double-count the observation.
+	if err == nil && status == http.StatusServiceUnavailable && hdr.Get(writeAppliedHeader) == "" {
+		if d, ok := retryAfter(hdr); ok {
+			rt.retries.Inc()
+			select {
+			case <-time.After(d):
+			case <-rt.stop:
+			}
+			status, hdr, respBody, err = rt.do(n, method, path, body)
+		}
+	}
 	if err != nil {
 		rt.requests.With(n.url, "unreachable").Inc()
 		writeError(w, http.StatusBadGateway, fmt.Sprintf("upstream %s: %v", n.url, err))
@@ -546,8 +682,7 @@ func (rt *Router) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		}(p)
 	}
 	wg.Wait()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(merged) //nolint:errcheck
+	writeJSONOK(w, merged)
 }
 
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -669,8 +804,7 @@ func (rt *Router) handleFanGet(path string) http.HandlerFunc {
 		if merged == nil {
 			merged = []json.RawMessage{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(merged) //nolint:errcheck
+		writeJSONOK(w, merged)
 	}
 }
 
@@ -725,8 +859,7 @@ func (rt *Router) Topology() []ClusterGroup {
 }
 
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(rt.Topology()) //nolint:errcheck
+	writeJSONOK(w, rt.Topology())
 }
 
 func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {

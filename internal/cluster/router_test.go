@@ -58,6 +58,11 @@ type fakeNode struct {
 	ready    atomic.Bool
 	role     atomic.Value // "leader" | "follower"
 	srv      *httptest.Server
+
+	replAddr   atomic.Value // advertised replicate_addr (string; "" = none)
+	followed   atomic.Value // last addr received at POST /v1/follow
+	observe503 atomic.Int32 // remaining /v1/observe calls to answer 503 + Retry-After
+	applied503 atomic.Bool  // mark those 503s X-Orf-Write-Applied
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
@@ -82,6 +87,15 @@ func newFakeNode(t *testing.T) *fakeNode {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		if n.observe503.Load() > 0 {
+			n.observe503.Add(-1)
+			w.Header().Set("Retry-After", "0")
+			if n.applied503.Load() {
+				w.Header().Set("X-Orf-Write-Applied", "true")
+			}
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+			return
+		}
 		var req struct {
 			Serial string `json:"serial"`
 		}
@@ -138,7 +152,23 @@ func newFakeNode(t *testing.T) *fakeNode {
 			http.Error(w, "down", http.StatusInternalServerError)
 			return
 		}
-		json.NewEncoder(w).Encode(map[string]string{"role": n.role.Load().(string)}) //nolint:errcheck
+		st := map[string]string{"role": n.role.Load().(string)}
+		if addr, _ := n.replAddr.Load().(string); addr != "" {
+			st["replicate_addr"] = addr
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/follow", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			Addr string `json:"addr"`
+		}
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		n.followed.Store(req.Addr)
+		json.NewEncoder(w).Encode(map[string]string{"role": "follower"}) //nolint:errcheck
 	})
 	mux.HandleFunc("/v1/demote", func(w http.ResponseWriter, r *http.Request) {
 		if !n.healthy.Load() {
@@ -388,9 +418,14 @@ func TestRouterFencesResurrectedLeader(t *testing.T) {
 	if !follower.promoted.Load() {
 		t.Fatal("follower was not promoted")
 	}
-	if leader.demoted.Load() || rt.demotions.Value() != 0 {
+	if leader.demoted.Load() || rt.demotions.With("ok").Value() != 0 {
 		t.Fatalf("dead leader acknowledged a fence: demoted=%v count=%d",
-			leader.demoted.Load(), rt.demotions.Value())
+			leader.demoted.Load(), rt.demotions.With("ok").Value())
+	}
+	// The fake simulates death with a 500, so the failed fence lands in
+	// the rejected bucket (a torn-down listener would be unreachable).
+	if rt.demotions.With("rejected").Value() == 0 {
+		t.Fatal("failed fence attempt not counted")
 	}
 
 	// Resurrect the old leader, role intact. The next probe must fence it.
@@ -399,13 +434,13 @@ func TestRouterFencesResurrectedLeader(t *testing.T) {
 	if !leader.demoted.Load() {
 		t.Fatal("resurrected stale leader was not demoted")
 	}
-	if rt.demotions.Value() != 1 {
-		t.Fatalf("router_demotions_total = %d, want 1", rt.demotions.Value())
+	if rt.demotions.With("ok").Value() != 1 {
+		t.Fatalf("router_demotions_total{outcome=ok} = %d, want 1", rt.demotions.With("ok").Value())
 	}
 	// Once fenced (role now follower), further probes leave it alone.
 	rt.probeAll()
-	if rt.demotions.Value() != 1 {
-		t.Fatalf("fence repeated: %d demotions", rt.demotions.Value())
+	if rt.demotions.With("ok").Value() != 1 {
+		t.Fatalf("fence repeated: %d demotions", rt.demotions.With("ok").Value())
 	}
 }
 
@@ -447,5 +482,77 @@ func TestRouterClusterTopology(t *testing.T) {
 	}
 	if !topo[0].Nodes[0].Leader || topo[0].Nodes[1].Leader {
 		t.Fatalf("leader flag wrong: %s", w.Body)
+	}
+}
+
+// TestRouterRepointsSurvivors: after a promotion the router must ask
+// the new leader where it ships from and re-point every surviving
+// follower over POST /v1/follow — without that the survivors keep
+// replicating from the dead leader until an operator restarts them.
+func TestRouterRepointsSurvivors(t *testing.T) {
+	leader, f1, f2 := newFakeNode(t), newFakeNode(t), newFakeNode(t)
+	leader.role.Store("leader")
+	// Each follower advertises the ship address it would expose as
+	// leader; the fake reports it unconditionally, the router only reads
+	// it off the node it just promoted.
+	f1.replAddr.Store("10.9.9.1:7000")
+	f2.replAddr.Store("10.9.9.2:7000")
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{leader.srv.URL, f1.srv.URL, f2.srv.URL}},
+	}, Config{HealthInterval: time.Hour, FailAfter: 2})
+
+	leader.healthy.Store(false)
+	rt.probeAll()
+	rt.probeAll()
+	if !f1.promoted.Load() {
+		t.Fatal("first follower was not promoted")
+	}
+	if got, _ := f2.followed.Load().(string); got != "10.9.9.1:7000" {
+		t.Fatalf("survivor follows %q, want the new leader's replicate_addr", got)
+	}
+	if f1.followed.Load() != nil {
+		t.Fatal("new leader was asked to follow itself")
+	}
+	if got := rt.repoints.With("ok").Value(); got != 1 {
+		t.Fatalf("router_repoints_total{outcome=ok} = %d, want 1", got)
+	}
+}
+
+// TestRouterHonorsRetryAfter: an upstream 503 carrying Retry-After is
+// retried once (overload is transient by its own admission) — unless
+// the upstream marked the write as already applied, where a replay
+// would double-count the observation.
+func TestRouterHonorsRetryAfter(t *testing.T) {
+	n := newFakeNode(t)
+	n.role.Store("leader")
+	n.observe503.Store(1)
+	rt := newTestRouter(t, []GroupSpec{
+		{Name: "g", Nodes: []string{n.srv.URL}},
+	}, Config{HealthInterval: time.Hour})
+	h := rt.Handler()
+
+	w := post(t, h, "/v1/observe", `{"serial":"S1","model":"M"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("retryable 503 was not retried: status %d: %s", w.Code, w.Body)
+	}
+	if got := n.observed(); len(got) != 1 || got[0] != "S1" {
+		t.Fatalf("upstream saw %v, want [S1]", got)
+	}
+	if got := rt.retries.Value(); got != 1 {
+		t.Fatalf("router_write_retries_total = %d, want 1", got)
+	}
+
+	// Same 503, but flagged X-Orf-Write-Applied: surface it, don't replay.
+	n.observe503.Store(1)
+	n.applied503.Store(true)
+	w = post(t, h, "/v1/observe", `{"serial":"S2","model":"M"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write-applied 503 was swallowed: status %d", w.Code)
+	}
+	if got := n.observed(); len(got) != 1 {
+		t.Fatalf("applied write was replayed: upstream saw %v", got)
+	}
+	if got := rt.retries.Value(); got != 1 {
+		t.Fatalf("router retried a write-applied 503 (retries=%d)", got)
 	}
 }

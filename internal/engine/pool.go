@@ -65,7 +65,13 @@ type Pool[S any] struct {
 
 type shard[S any] struct {
 	mbox chan func(S)
+	done chan struct{} // closed when the worker exits
+	dead bool          // retired by Reset; guarded by Pool.mu
 }
+
+// errShardDead is an internal retry signal: the shard a caller looked
+// up was retired by Reset between lookup and send.
+var errShardDead = errors.New("engine: shard retired")
 
 // poolMetrics is the pool's instrument set. Mailbox depth and shard
 // count are gauge functions read only at scrape time, so idle serving
@@ -147,12 +153,13 @@ func (p *Pool[S]) shardFor(key string, create bool) (*shard[S], error) {
 	if sh = p.shards[key]; sh != nil {
 		return sh, nil
 	}
-	sh = &shard[S]{mbox: make(chan func(S), p.cfg.Mailbox)}
+	sh = &shard[S]{mbox: make(chan func(S), p.cfg.Mailbox), done: make(chan struct{})}
 	p.shards[key] = sh
 	state := p.factory(key)
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		defer close(sh.done)
 		for fn := range sh.mbox {
 			start := time.Now()
 			fn(state)
@@ -166,20 +173,28 @@ func (p *Pool[S]) shardFor(key string, create bool) (*shard[S], error) {
 // without waiting for execution. If the mailbox stays full past the
 // enqueue timeout it returns ErrBusy.
 func (p *Pool[S]) Submit(key string, fn func(S)) error {
-	sh, err := p.shardFor(key, true)
-	if err != nil {
-		return err
+	for {
+		sh, err := p.shardFor(key, true)
+		if err != nil {
+			return err
+		}
+		if err := p.send(sh, fn); !errors.Is(err, errShardDead) {
+			return err
+		}
 	}
-	return p.send(sh, fn)
 }
 
 func (p *Pool[S]) send(sh *shard[S], fn func(S)) error {
-	// The read lock pins the mailbox open: Close takes the write lock
-	// before closing channels, so a send in progress cannot panic.
+	// The read lock pins the mailbox open: Close and Reset take the
+	// write lock before closing channels, so a send in progress cannot
+	// panic.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
+	}
+	if sh.dead {
+		return errShardDead
 	}
 	select {
 	case sh.mbox <- fn:
@@ -213,19 +228,28 @@ func (p *Pool[S]) Query(key string, fn func(S)) error {
 }
 
 func (p *Pool[S]) doSync(key string, create bool, fn func(S)) error {
-	sh, err := p.shardFor(key, create)
-	if err != nil {
-		return err
+	for {
+		sh, err := p.shardFor(key, create)
+		if err != nil {
+			return err
+		}
+		done := make(chan struct{})
+		err = p.send(sh, func(s S) {
+			defer close(done)
+			fn(s)
+		})
+		if errors.Is(err, errShardDead) {
+			// Retired by Reset between lookup and send; with create the
+			// retry builds a fresh shard, without it the fresh map
+			// reports ErrUnknownShard.
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		<-done
+		return nil
 	}
-	done := make(chan struct{})
-	if err := p.send(sh, func(s S) {
-		defer close(done)
-		fn(s)
-	}); err != nil {
-		return err
-	}
-	<-done
-	return nil
 }
 
 // Keys returns the keys of all live shards, sorted.
@@ -238,6 +262,31 @@ func (p *Pool[S]) Keys() []string {
 	p.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// Reset retires every shard: current mailboxes drain, their workers
+// exit, and the next use of any key builds a fresh shard from the
+// factory. Used when the backing state is wholesale replaced (a
+// follower installing a seed set) — Close would kill the pool for
+// good, Reset only evicts state. Blocks until all retired workers have
+// exited.
+func (p *Pool[S]) Reset() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	old := p.shards
+	p.shards = make(map[string]*shard[S])
+	for _, sh := range old {
+		sh.dead = true
+		close(sh.mbox)
+	}
+	p.mu.Unlock()
+	for _, sh := range old {
+		<-sh.done
+	}
+	return nil
 }
 
 // Close stops accepting work, drains every mailbox, and waits for all

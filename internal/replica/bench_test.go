@@ -37,11 +37,30 @@ func benchWAL(b *testing.B, dir string, syncInterval time.Duration) *wal.WAL {
 	return w
 }
 
+// benchMode names the regime a benchmark ran in ("smoke" under -short)
+// so BENCH_replicate.json can hold both and the smoke gate
+// (make bench-replicate-smoke) compares like for like.
+func benchMode() string {
+	if testing.Short() {
+		return "smoke"
+	}
+	return "full"
+}
+
 // BenchmarkReplicationShip measures steady-state live-tail throughput:
 // records appended on the leader, streamed over TCP, and delivered to a
 // connected follower. bytes/op is the record payload, so the reported
-// MB/s is the replicated-payload rate.
+// MB/s is the replicated-payload rate. The async variant drains the
+// stream after the timed loop (shipping overlaps appends); the sync1
+// variant commits synchronously — fsync, ship, follower fsync, ack —
+// per op, the floor a -sync-acks 1 deployment pays per write.
 func BenchmarkReplicationShip(b *testing.B) {
+	mode := benchMode()
+	b.Run(mode+"/async", func(b *testing.B) { benchShip(b, 0) })
+	b.Run(mode+"/sync1", func(b *testing.B) { benchShip(b, 1) })
+}
+
+func benchShip(b *testing.B, syncAcks int) {
 	// A fast flusher keeps fsyncs off the timed append path while still
 	// making records durable (hence shippable) almost immediately.
 	w := benchWAL(b, b.TempDir(), 2*time.Millisecond)
@@ -64,8 +83,19 @@ func BenchmarkReplicationShip(b *testing.B) {
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Append(payload); err != nil {
+		seq, err := w.Append(payload)
+		if err != nil {
 			b.Fatal(err)
+		}
+		if syncAcks > 0 {
+			// Mirror the engine's commit sequence: the record must be
+			// durable (and therefore shippable) before waiting on acks.
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := src.WaitAcked(seq, syncAcks, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	last := w.NextSeq() - 1
@@ -78,9 +108,17 @@ func BenchmarkReplicationShip(b *testing.B) {
 }
 
 // BenchmarkFollowerCatchup measures a cold follower draining a
-// pre-filled leader WAL from offset zero: the re-seed / restart path.
-// Under -short the backlog shrinks so the CI smoke stays fast.
+// pre-filled leader WAL from offset zero: the restart path. Under
+// -short the backlog shrinks so the CI smoke stays fast; the regime
+// sub-name keeps the two backlog sizes as separate baseline entries.
 func BenchmarkFollowerCatchup(b *testing.B) {
+	// The /cold leaf keeps the name shaped <bench>/<regime>/<variant>
+	// like the ship benchmarks, which is what the smoke gate's /smoke/
+	// match expects.
+	b.Run(benchMode()+"/cold", func(b *testing.B) { benchCatchup(b) })
+}
+
+func benchCatchup(b *testing.B) {
 	backlog := 5000
 	if testing.Short() {
 		backlog = 1000

@@ -45,6 +45,13 @@ type FollowerConfig struct {
 	// arrives), not jitter. Without it a dead link would block the read
 	// forever while the follower kept reporting a live stream.
 	ReadTimeout time.Duration
+	// Seeder, when set, turns fatal divergence (ErrResumeTooOld,
+	// ErrFollowerAhead) into an automatic full re-seed from the leader
+	// instead of a permanent stop: the seed set downloads into
+	// Seeder.BeginSeed's staging directory, Seeder.CommitSeed installs
+	// it, and streaming resumes from the new position. Nil preserves
+	// the old stop-and-wait-for-an-operator behavior.
+	Seeder SeedSink
 	// Metrics receives the replica_connection_* families. Nil registers
 	// into a private registry.
 	Metrics *metrics.Registry
@@ -74,9 +81,11 @@ type Follower struct {
 	addr string
 	cfg  FollowerConfig
 
-	reconnects *metrics.Counter
-	connected  atomic.Bool
-	fatal      atomic.Pointer[error]
+	reconnects  *metrics.Counter
+	reseeds     *metrics.Counter
+	reseedBytes *metrics.Counter
+	connected   atomic.Bool
+	fatal       atomic.Pointer[error]
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -101,6 +110,10 @@ func StartFollower(addr string, cfg FollowerConfig) (*Follower, error) {
 		cfg:  cfg,
 		reconnects: reg.Counter("replica_connection_attempts_total",
 			"Connections (initial and reconnect) the follower has made to its leader."),
+		reseeds: reg.Counter("replica_reseeds_total",
+			"Automatic full re-seeds completed after fatal divergence."),
+		reseedBytes: reg.Counter("replica_reseed_bytes_total",
+			"Bytes downloaded in automatic re-seed transfers."),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -164,10 +177,27 @@ func (f *Follower) loop() {
 			return
 		}
 		if errors.Is(err, ErrResumeTooOld) || errors.Is(err, ErrFollowerAhead) {
-			e := err
-			f.fatal.Store(&e)
-			f.cfg.Logger.Error("replication permanently stopped", "err", err)
-			return
+			if f.cfg.Seeder == nil {
+				e := err
+				f.fatal.Store(&e)
+				f.cfg.Logger.Error("replication permanently stopped", "err", err)
+				return
+			}
+			f.cfg.Logger.Warn("replication diverged; requesting full seed from leader", "err", err)
+			if serr := f.reseed(); serr != nil {
+				if f.stopped() {
+					return
+				}
+				f.cfg.Logger.Warn("re-seed failed; will retry", "leader", f.addr, "err", serr)
+				// A seed transfer is far heavier than a reconnect, so
+				// back off harder than the streaming retry.
+				select {
+				case <-f.stop:
+					return
+				case <-time.After(4 * f.cfg.RetryInterval):
+				}
+			}
+			continue
 		}
 		if err != nil {
 			f.cfg.Logger.Warn("replication stream lost; retrying", "leader", f.addr, "err", err)

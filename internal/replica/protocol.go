@@ -16,6 +16,20 @@
 //	                                uvarint n | n × (uvarint seq, uvarint len, bytes)
 //	heartbeat (2, leader→follower): u64 head | i64 sentUnixNano
 //	ack       (3, follower→leader): u64 lastApplied
+//	seedfile  (4, leader→follower): uvarint nameLen | name | u64 size
+//	seedchunk (5, leader→follower): raw file bytes (appended to the
+//	                                announced file, in order)
+//	seeddone  (6, leader→follower): u64 head
+//
+// A diverged follower (one that would hit ErrResumeTooOld or
+// ErrFollowerAhead) may open a *seed* session instead of a streaming
+// one by sending the "ORFS" handshake magic. The leader replies with
+// the normal "ORFA" handshake, then streams its current durable state
+// as a sequence of seedfile/seedchunk frames — the snapshot set, the
+// backfill cursor, and the WAL tail — ending with seeddone. The
+// follower installs the files into a staging directory, atomically
+// swaps them in, acks its new durable position, and reconnects as a
+// normal streaming follower.
 //
 // head is the leader's newest *fsync-durable* sequence number at send
 // time (wal.SyncedSeq, not the in-memory tail); together with the
@@ -47,12 +61,21 @@ import (
 
 const (
 	magicHello = "ORFR"
+	magicSeed  = "ORFS"
 	magicReply = "ORFA"
 	version    = 1
 
 	frameRecords   = 1
 	frameHeartbeat = 2
 	frameAck       = 3
+	frameSeedFile  = 4
+	frameSeedChunk = 5
+	frameSeedDone  = 6
+
+	// seedChunkBytes bounds one seedchunk frame. Small enough that a
+	// slow link still makes steady per-frame progress against the read
+	// deadline, large enough to amortize framing.
+	seedChunkBytes = 1 << 20
 
 	// maxFramePayload caps one frame (sanity bound; a records frame is
 	// sized by the Source's batch limits, far below this).
@@ -92,18 +115,34 @@ func writeHandshake(w io.Writer, resumeAfter uint64) error {
 	return err
 }
 
-func readHandshake(r io.Reader) (resumeAfter uint64, err error) {
+// writeSeedHandshake opens a seed session: same layout as the
+// streaming handshake, distinguished by magic. resumeAfter carries the
+// follower's (stale) durable position for the leader's logs.
+func writeSeedHandshake(w io.Writer, resumeAfter uint64) error {
+	var buf [4 + 2 + 8]byte
+	copy(buf[:4], magicSeed)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint64(buf[6:14], resumeAfter)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (resumeAfter uint64, seed bool, err error) {
 	var buf [4 + 2 + 8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	if string(buf[:4]) != magicHello {
-		return 0, fmt.Errorf("replica: bad handshake magic %q", buf[:4])
+	switch string(buf[:4]) {
+	case magicHello:
+	case magicSeed:
+		seed = true
+	default:
+		return 0, false, fmt.Errorf("replica: bad handshake magic %q", buf[:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:6]); v != version {
-		return 0, fmt.Errorf("replica: protocol version %d, want %d", v, version)
+		return 0, false, fmt.Errorf("replica: protocol version %d, want %d", v, version)
 	}
-	return binary.LittleEndian.Uint64(buf[6:14]), nil
+	return binary.LittleEndian.Uint64(buf[6:14]), seed, nil
 }
 
 func writeHandshakeReply(w io.Writer, oldestSegment, head uint64) error {
@@ -238,6 +277,38 @@ func appendAckPayload(buf []byte, lastApplied uint64) []byte {
 func decodeAckPayload(p []byte) (lastApplied uint64, err error) {
 	if len(p) != 8 {
 		return 0, fmt.Errorf("replica: ack payload of %d bytes", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// appendSeedFilePayload announces one seed file: its dir-relative name
+// (forward slashes, e.g. "wal/00000000000000000001.wal") and size.
+func appendSeedFilePayload(buf []byte, name string, size int64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	return binary.LittleEndian.AppendUint64(buf, uint64(size))
+}
+
+func decodeSeedFilePayload(p []byte) (name string, size int64, err error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return "", 0, errors.New("replica: truncated seed file name")
+	}
+	name = string(p[sz : sz+int(n)])
+	p = p[sz+int(n):]
+	if len(p) != 8 {
+		return "", 0, fmt.Errorf("replica: seed file size field of %d bytes", len(p))
+	}
+	return name, int64(binary.LittleEndian.Uint64(p)), nil
+}
+
+func appendSeedDonePayload(buf []byte, head uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, head)
+}
+
+func decodeSeedDonePayload(p []byte) (head uint64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("replica: seed done payload of %d bytes", len(p))
 	}
 	return binary.LittleEndian.Uint64(p), nil
 }

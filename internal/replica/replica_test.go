@@ -66,9 +66,17 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if err := writeHandshake(&wire, 77); err != nil {
 		t.Fatal(err)
 	}
-	resume, err := readHandshake(&wire)
-	if err != nil || resume != 77 {
-		t.Fatalf("resume=%d err=%v", resume, err)
+	resume, seed, err := readHandshake(&wire)
+	if err != nil || resume != 77 || seed {
+		t.Fatalf("resume=%d seed=%v err=%v", resume, seed, err)
+	}
+	wire.Reset()
+	if err := writeSeedHandshake(&wire, 41); err != nil {
+		t.Fatal(err)
+	}
+	resume, seed, err = readHandshake(&wire)
+	if err != nil || resume != 41 || !seed {
+		t.Fatalf("seed handshake: resume=%d seed=%v err=%v", resume, seed, err)
 	}
 	wire.Reset()
 	if err := writeHandshakeReply(&wire, 3, 99); err != nil {

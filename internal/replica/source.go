@@ -6,6 +6,7 @@ import (
 	"errors"
 	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,10 @@ type SourceConfig struct {
 	// WriteTimeout bounds one frame write to a stalled follower before
 	// the connection is torn down (default 30 s).
 	WriteTimeout time.Duration
+	// SeedProvider, when set, lets diverged followers request a full
+	// state transfer ("ORFS" handshake) instead of being refused. Nil
+	// rejects seed sessions.
+	SeedProvider SeedProvider
 	// Metrics receives the replication_* families. Nil registers into a
 	// private registry.
 	Metrics *metrics.Registry
@@ -61,11 +66,14 @@ func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discar
 func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 type sourceMetrics struct {
-	records  *metrics.Counter
-	bytes    *metrics.Counter
-	segments *metrics.Counter
-	frames   *metrics.Counter
-	acked    *metrics.Gauge
+	records      *metrics.Counter
+	bytes        *metrics.Counter
+	segments     *metrics.Counter
+	frames       *metrics.Counter
+	acked        *metrics.Gauge
+	seeds        *metrics.Counter
+	seedBytes    *metrics.Counter
+	syncTimeouts *metrics.Counter
 }
 
 // Source is the leader side of WAL-shipping replication: it accepts
@@ -78,12 +86,29 @@ type Source struct {
 	ln  net.Listener
 	met sourceMetrics
 
-	mu     sync.Mutex
-	conns  map[*srcConn]struct{}
-	floor  uint64 // sticky min acked position across followers
-	closed bool
+	mu         sync.Mutex
+	conns      map[*srcConn]struct{}
+	floor      uint64 // sticky min acked position across followers
+	closed     bool
+	waiters    []*ackWaiter
+	ackScratch []uint64
 
 	wg sync.WaitGroup
+}
+
+// ErrSourceClosed reports a WaitAcked call on a closed Source.
+var ErrSourceClosed = errors.New("replica: source closed")
+
+// ErrAckTimeout reports that WaitAcked gave up before enough followers
+// acknowledged the sequence number.
+var ErrAckTimeout = errors.New("replica: timed out waiting for follower acks")
+
+// ackWaiter parks one WaitAcked call until k followers have durably
+// acknowledged seq. The channel is buffered so noteAck never blocks.
+type ackWaiter struct {
+	seq uint64
+	k   int
+	ch  chan error
 }
 
 type srcConn struct {
@@ -121,11 +146,14 @@ func NewSource(addr string, cfg SourceConfig) (*Source, error) {
 		ln:    ln,
 		conns: make(map[*srcConn]struct{}),
 		met: sourceMetrics{
-			records:  reg.Counter("replication_records_shipped_total", "WAL records streamed to follower replicas."),
-			bytes:    reg.Counter("replication_bytes_shipped_total", "Payload bytes streamed to follower replicas."),
-			segments: reg.Counter("replication_segments_shipped_total", "WAL segments fully streamed to a follower (counted per stream)."),
-			frames:   reg.Counter("replication_frames_shipped_total", "Protocol frames (records + heartbeats) sent to followers."),
-			acked:    reg.Gauge("replication_min_acked_seq", "Lowest follower-acknowledged WAL sequence number (the truncation retain floor)."),
+			records:      reg.Counter("replication_records_shipped_total", "WAL records streamed to follower replicas."),
+			bytes:        reg.Counter("replication_bytes_shipped_total", "Payload bytes streamed to follower replicas."),
+			segments:     reg.Counter("replication_segments_shipped_total", "WAL segments fully streamed to a follower (counted per stream)."),
+			frames:       reg.Counter("replication_frames_shipped_total", "Protocol frames (records + heartbeats) sent to followers."),
+			acked:        reg.Gauge("replication_min_acked_seq", "Lowest follower-acknowledged WAL sequence number (the truncation retain floor)."),
+			seeds:        reg.Counter("replication_seeds_served_total", "Full state transfers streamed to diverged followers."),
+			seedBytes:    reg.Counter("replication_seed_bytes_total", "Bytes streamed in follower seed transfers."),
+			syncTimeouts: reg.Counter("replication_sync_ack_timeouts_total", "Synchronous-commit waits that timed out before enough follower acks."),
 		},
 	}
 	reg.GaugeFunc("replication_followers", "Follower replicas currently attached (handshake completed).", func() float64 {
@@ -158,6 +186,10 @@ func (s *Source) Close() error {
 	for sc := range s.conns {
 		sc.shutdown()
 	}
+	for _, w := range s.waiters {
+		w.ch <- ErrSourceClosed
+	}
+	s.waiters = nil
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -224,6 +256,102 @@ func (s *Source) noteAck(sc *srcConn, seq uint64) {
 	s.floor = min + 1
 	s.cfg.WAL.SetRetainFloor(s.floor)
 	s.met.acked.Set(float64(min))
+	s.wakeWaitersLocked()
+}
+
+// wakeWaitersLocked satisfies every parked WaitAcked call whose target
+// is now covered by enough follower acks. Caller holds s.mu.
+func (s *Source) wakeWaitersLocked() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	vals := s.ackScratch[:0]
+	for c := range s.conns {
+		if c.ready {
+			vals = append(vals, c.acked)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	s.ackScratch = vals
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.k <= len(vals) && vals[w.k-1] >= w.seq {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(s.waiters); i++ {
+		s.waiters[i] = nil
+	}
+	s.waiters = kept
+}
+
+// ackedByLocked returns the k-th highest follower-acknowledged
+// sequence number (0 when fewer than k followers are attached).
+// Caller holds s.mu.
+func (s *Source) ackedByLocked(k int) uint64 {
+	vals := s.ackScratch[:0]
+	for c := range s.conns {
+		if c.ready {
+			vals = append(vals, c.acked)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	s.ackScratch = vals
+	if k > len(vals) {
+		return 0
+	}
+	return vals[k-1]
+}
+
+// WaitAcked blocks until at least k attached followers have durably
+// acknowledged seq, the timeout elapses (ErrAckTimeout), or the source
+// closes (ErrSourceClosed). k <= 0 returns immediately. This is the
+// synchronous-commit primitive: a leader that waits on the seq of a
+// write before answering the client guarantees the write survives the
+// loss of the leader plus k-1 followers.
+func (s *Source) WaitAcked(seq uint64, k int, timeout time.Duration) error {
+	if k <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSourceClosed
+	}
+	if s.ackedByLocked(k) >= seq {
+		s.mu.Unlock()
+		return nil
+	}
+	w := &ackWaiter{seq: seq, k: k, ch: make(chan error, 1)}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timer.C:
+		s.mu.Lock()
+		found := false
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				found = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !found {
+			// Satisfied (or closed) between the timer firing and the
+			// removal attempt; the verdict is already in the channel.
+			return <-w.ch
+		}
+		s.met.syncTimeouts.Inc()
+		return ErrAckTimeout
+	}
 }
 
 func (s *Source) serve(sc *srcConn) error {
@@ -237,7 +365,7 @@ func (s *Source) serve(sc *srcConn) error {
 	// truncation has already passed (the follower must be re-seeded) and
 	// positions past our own durable head (the logs have diverged).
 	sc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
-	resume, err := readHandshake(sc.c)
+	resume, seed, err := readHandshake(sc.c)
 	if err != nil {
 		return err
 	}
@@ -248,6 +376,9 @@ func (s *Source) serve(sc *srcConn) error {
 	}
 	if err := writeHandshakeReply(sc.c, oldest, head()); err != nil {
 		return err
+	}
+	if seed {
+		return s.serveSeed(sc, resume)
 	}
 	if resume+1 < oldest {
 		return ErrResumeTooOld

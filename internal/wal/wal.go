@@ -462,6 +462,24 @@ func (w *WAL) syncLocked() error {
 	return nil
 }
 
+// SealTail fsyncs the active segment and reports a consistent cut of
+// the log for a state transfer: the active segment's first sequence
+// number, its durable byte size at the cut, and the newest durable
+// sequence number. A seed streamer that ships the non-tail segments in
+// full plus the first tailSize bytes of the tail transfers exactly the
+// records through head, even while appends continue past the cut.
+func (w *WAL) SealTail() (tailStart uint64, tailSize int64, head uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, 0, 0, ErrClosed
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, 0, 0, err
+	}
+	return w.segStart, w.size, w.syncedSeq, nil
+}
+
 func (w *WAL) rotateLocked() error {
 	if err := w.syncLocked(); err != nil {
 		return err

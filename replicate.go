@@ -30,6 +30,55 @@ import (
 // it to 409 Conflict; clients should retry against the leader.
 var ErrNotLeader = errors.New("orfdisk: not the leader (follower replicas are read-only)")
 
+// ErrSyncUnacked reports a synchronous-commit write that is durable on
+// the leader but was not acknowledged by the configured number of
+// followers in time. The record is NOT lost — it is fsynced locally
+// and will ship when a follower reattaches — but it does not yet have
+// the cross-node durability SyncAcks promises. HTTP maps it to 503
+// with Retry-After; clients must treat the write as indeterminate.
+var ErrSyncUnacked = errors.New("orfdisk: write durable locally but not acknowledged by enough followers")
+
+// AckWaiter blocks until k followers have durably acknowledged a WAL
+// sequence number — implemented by *replica.Source. The engine calls
+// it after its own fsync when EngineConfig.SyncAcks > 0.
+type AckWaiter interface {
+	WaitAcked(seq uint64, k int, timeout time.Duration) error
+}
+
+// SetAckWaiter attaches the replication source whose follower acks
+// gate synchronous commits. Until one is attached, an engine with
+// SyncAcks > 0 fails writes (fail-closed: the guarantee cannot be
+// provided, so the write is not acknowledged).
+func (e *Engine) SetAckWaiter(w AckWaiter) { e.ackWaiter.Store(&w) }
+
+// SetReplicationSourceAddr records the address of the replication
+// listener this engine is serving, for /v1/replication — the routing
+// tier uses it to re-point surviving followers after a promotion.
+func (e *Engine) SetReplicationSourceAddr(addr string) { e.replAddr.Store(addr) }
+
+// waitSyncAcks gates a leader write behind follower acks when
+// synchronous commit is on. The record is already applied and in the
+// WAL; Sync makes it durable (and shippable — the source only streams
+// fsynced records), then the waiter parks until SyncAcks followers
+// have fsynced it too. Concurrent writers share fsyncs (group commit):
+// a Sync that finds nothing dirty is a mutex acquire.
+func (e *Engine) waitSyncAcks(seq uint64) error {
+	if e.syncAcks <= 0 || e.follower.Load() {
+		return nil
+	}
+	if err := e.wal.Sync(); err != nil {
+		return err
+	}
+	wp := e.ackWaiter.Load()
+	if wp == nil {
+		return fmt.Errorf("%w: no replication source attached", ErrSyncUnacked)
+	}
+	if err := (*wp).WaitAcked(seq, e.syncAcks, e.syncAckTimeout); err != nil {
+		return fmt.Errorf("%w: %v", ErrSyncUnacked, err)
+	}
+	return nil
+}
+
 // IsFollower reports whether the engine currently refuses writes.
 func (e *Engine) IsFollower() bool { return e.follower.Load() }
 
@@ -199,21 +248,38 @@ type ReplicationStatus struct {
 	// SilenceSeconds is how long ago the follower last heard any frame
 	// from its leader (0 until the first frame, and on leaders).
 	SilenceSeconds float64 `json:"silence_seconds,omitempty"`
+	// SyncAcks is the leader's synchronous-commit requirement: writes
+	// are acknowledged only after this many followers fsync them
+	// (0 = asynchronous replication).
+	SyncAcks int `json:"sync_acks,omitempty"`
+	// ReplicateAddr is the address of the replication listener this
+	// leader serves, when one is attached — the routing tier re-points
+	// surviving followers at it after a promotion.
+	ReplicateAddr string `json:"replicate_addr,omitempty"`
 }
 
-// Replication reports the engine's replication role and lag.
+// Replication reports the engine's replication role and lag. The
+// follower branch deliberately avoids e.wal: a follower's WAL handle
+// is swapped during a seed install, and the applied position lives in
+// an atomic either way.
 func (e *Engine) Replication() ReplicationStatus {
-	st := ReplicationStatus{Role: "leader", Applied: e.wallessApplied()}
 	if e.follower.Load() {
-		st.Role = "follower"
-		st.Applied = e.replApplied.Load()
-		st.LeaderHead = e.leaderHead.Load()
-		st.LagRecords = e.lagRecords()
-		st.LagSeconds = e.lagSeconds()
-		st.ReadyMaxLag = e.readyMaxLag
+		st := ReplicationStatus{
+			Role:        "follower",
+			Applied:     e.replApplied.Load(),
+			LeaderHead:  e.leaderHead.Load(),
+			LagRecords:  e.lagRecords(),
+			LagSeconds:  e.lagSeconds(),
+			ReadyMaxLag: e.readyMaxLag,
+		}
 		if last := e.lastFrame.Load(); last != 0 {
 			st.SilenceSeconds = time.Since(time.Unix(0, last)).Seconds()
 		}
+		return st
+	}
+	st := ReplicationStatus{Role: "leader", Applied: e.wallessApplied(), SyncAcks: e.syncAcks}
+	if addr, ok := e.replAddr.Load().(string); ok {
+		st.ReplicateAddr = addr
 	}
 	return st
 }

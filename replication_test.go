@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"orfdisk/internal/metrics"
 	"orfdisk/internal/replica"
 	"orfdisk/internal/wal"
 )
@@ -512,5 +513,219 @@ func TestReplicationHammerThreeNodes(t *testing.T) {
 		if got := fmt.Sprintf("%+v", f.Stats()); got != want {
 			t.Fatalf("follower %d stats diverged:\nleader   %s\nfollower %s", i+1, want, got)
 		}
+	}
+}
+
+// TestAutoReseedAfterTruncation is the acceptance harness for the
+// re-seed half of the subsystem: the leader's snapshots have truncated
+// the WAL prefix a new follower would need, so the follower's resume
+// position is fatally below the leader's oldest segment. With a Seeder
+// wired, the follower must detect the divergence, pull a full seed
+// (snapshots + backfill cursor + WAL tail) over the replication
+// socket, install it, catch up live — and after the leader dies, be
+// promoted into a node whose predictions and saved state are
+// bit-identical to a run that never failed over.
+func TestAutoReseedAfterTruncation(t *testing.T) {
+	obs := engineStream(t, 77, 3)
+	cut := 2 * len(obs) / 3
+
+	// Reference: one engine ingests the full stream uninterrupted.
+	dirRef := t.TempDir()
+	ref, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: dirRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPred := make([]Prediction, len(obs))
+	refErr := make([]error, len(obs))
+	for i, o := range obs {
+		refPred[i], refErr[i] = ref.Ingest(o)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader with tiny WAL segments: the mid-run snapshot truncates the
+	// early segments, so a from-scratch follower cannot stream-catch-up.
+	dirL := t.TempDir()
+	leader, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: dirL, SegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource("127.0.0.1:0", replica.SourceConfig{
+		WAL: leader.WAL(), SeedProvider: leader,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs[:cut] {
+		if _, err := leader.Ingest(o); (err == nil) != (refErr[i] == nil) {
+			t.Fatalf("obs %d: error divergence on leader: %v vs %v", i, err, refErr[i])
+		}
+	}
+	if err := leader.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	oldest, err := leader.WAL().OldestSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest <= 1 {
+		t.Fatalf("snapshot did not truncate the WAL (oldest %d) — the test would not exercise re-seed", oldest)
+	}
+
+	// Fresh follower, empty directory, Seeder wired. Its resume position
+	// (0) is below the leader's oldest segment: fatal for streaming,
+	// recoverable by seed.
+	dirF := t.TempDir()
+	follower, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: dirF, Follower: true, SegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	fl, err := replica.StartFollower(src.Addr(), replica.FollowerConfig{
+		Applier: follower, Seeder: follower,
+		Metrics: reg, RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderLast := leader.WAL().NextSeq() - 1
+	waitUntil(t, 60*time.Second, "re-seed and catch-up", func() bool {
+		return follower.ReplicationResume() == leaderLast
+	})
+	if got := reg.Counter("replica_reseeds_total", "").Value(); got < 1 {
+		t.Fatalf("replica_reseeds_total = %d, want >= 1", got)
+	}
+
+	// Kill the leader without ceremony; promote the reseeded follower.
+	src.Close()
+	fl.Close()
+	leaderStats := fmt.Sprintf("%+v", leader.Stats())
+	if got := fmt.Sprintf("%+v", follower.Stats()); got != leaderStats {
+		t.Fatalf("stats diverged after re-seed:\nleader   %s\nfollower %s", leaderStats, got)
+	}
+	follower.Promote()
+	for i := cut; i < len(obs); i++ {
+		pred, err := follower.Ingest(obs[i])
+		if (err == nil) != (refErr[i] == nil) {
+			t.Fatalf("obs %d: error divergence after promotion: %v vs %v", i, err, refErr[i])
+		}
+		if err == nil && !samePrediction(pred, refPred[i]) {
+			t.Fatalf("obs %d: post-promotion prediction diverged from reference:\ngot  %+v\nwant %+v",
+				i, pred, refPred[i])
+		}
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Final saved state matches the uninterrupted run byte for byte
+	// (snapshot names are per-model, so the close-time snapshots
+	// overwrite anything the seed installed).
+	want := snapFiles(t, dirRef)
+	got := snapFiles(t, dirF)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no snapshots")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot sets differ: %d files vs %d", len(got), len(want))
+	}
+	for name, wb := range want {
+		gb, ok := got[name]
+		if !ok {
+			t.Fatalf("reseeded follower is missing snapshot %s", name)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("snapshot %s differs from the uninterrupted run (%d vs %d bytes)",
+				name, len(gb), len(wb))
+		}
+	}
+}
+
+// TestSyncAcksTimeoutWithoutFollower: synchronous commit with no
+// follower attached cannot satisfy the guarantee — every write path
+// must report ErrSyncUnacked after the timeout while the record stays
+// durable locally (that distinction is what the server's
+// X-Orf-Write-Applied header carries to the router).
+func TestSyncAcksTimeoutWithoutFollower(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(),
+		SyncAcks: 1, SyncAckTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src, err := replica.NewSource("127.0.0.1:0", replica.SourceConfig{WAL: eng.WAL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	eng.SetAckWaiter(src)
+
+	obs := engineStream(t, 13, 1)
+	if _, err := eng.Ingest(obs[0]); !errors.Is(err, ErrSyncUnacked) {
+		t.Fatalf("Ingest without follower: %v, want ErrSyncUnacked", err)
+	}
+	if next := eng.WAL().NextSeq(); next != 2 {
+		t.Fatalf("unacked write not durable locally: NextSeq %d, want 2", next)
+	}
+	for _, res := range eng.IngestBatch(obs[1:2]) {
+		if !errors.Is(res.Err, ErrSyncUnacked) {
+			t.Fatalf("IngestBatch without follower: %v, want ErrSyncUnacked", res.Err)
+		}
+	}
+	if st := eng.Replication(); st.SyncAcks != 1 {
+		t.Fatalf("Replication().SyncAcks = %d, want 1", st.SyncAcks)
+	}
+}
+
+// TestSyncAcksSatisfiedAndPartition: with a live follower, synchronous
+// writes complete — and every completed write is already applied on
+// the follower by the time Ingest returns (that is the whole point:
+// kill -9 the leader after any acknowledged write and the follower has
+// it). Closing the follower partitions the group: the next write times
+// out with ErrSyncUnacked.
+func TestSyncAcksSatisfiedAndPartition(t *testing.T) {
+	obs := engineStream(t, 21, 1)
+	if len(obs) > 50 {
+		obs = obs[:50]
+	}
+	leader, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: t.TempDir(),
+		SyncAcks: 1, SyncAckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	src, err := replica.NewSource("127.0.0.1:0", replica.SourceConfig{WAL: leader.WAL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	leader.SetAckWaiter(src)
+
+	follower, fl := newFollower(t, t.TempDir(), src.Addr())
+	defer follower.Close()
+	for _, o := range obs {
+		if _, err := leader.Ingest(o); err != nil {
+			t.Fatalf("synchronous Ingest with live follower: %v", err)
+		}
+		// The ack the leader just waited on implies the follower already
+		// applied and fsynced this record — no waitUntil needed.
+		if got, want := follower.ReplicationResume(), leader.WAL().NextSeq()-1; got != want {
+			t.Fatalf("acknowledged write not on follower: resume %d, want %d", got, want)
+		}
+	}
+
+	// Partition: the follower goes away; the guarantee becomes
+	// unsatisfiable and writes degrade to durable-but-unacked.
+	fl.Close()
+	if _, err := leader.Ingest(obs[0]); !errors.Is(err, ErrSyncUnacked) {
+		t.Fatalf("Ingest after partition: %v, want ErrSyncUnacked", err)
 	}
 }

@@ -36,6 +36,8 @@ import (
 //	GET  /v1/replication    -> {role, applied_seq, lag_records, lag_seconds, ...}
 //	POST /v1/promote        promote a follower replica to leader (idempotent)
 //	POST /v1/demote         fence this instance: stop accepting writes (idempotent)
+//	POST /v1/follow         {addr} re-point this follower at a new leader
+//	                        (501 unless the entrypoint wired SetFollowControl)
 //	GET  /healthz           -> 200 ok (process is up)
 //	GET  /readyz            -> 200 ready, or 503 {"error": reason} while a
 //	                           follower's replication lag exceeds its limit
@@ -75,6 +77,8 @@ type Server struct {
 
 	requests *metrics.CounterVec
 	latency  *metrics.HistogramVec
+
+	followCtl func(addr string) error
 }
 
 // maxBodyBytes caps every request body read by the server, except
@@ -133,6 +137,14 @@ func (s *Server) SetBatchLimits(maxBytes int64, maxItems int) {
 		s.batchMaxItems = maxItems
 	}
 }
+
+// SetFollowControl wires POST /v1/follow to fn, which must re-point
+// this instance's replication client at the given leader address
+// (tearing down any existing stream first). Without it the endpoint
+// answers 501. Call before Handler; the process entrypoint (orfserve)
+// installs one on follower instances so a routing tier can re-point
+// survivors after a failover instead of requiring a restart.
+func (s *Server) SetFollowControl(fn func(addr string) error) { s.followCtl = fn }
 
 // Engine returns the serving engine behind the API.
 func (s *Server) Engine() *Engine { return s.eng }
@@ -218,6 +230,7 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, http.MethodGet, "/v1/replication", s.handleReplication)
 	s.handle(mux, http.MethodPost, "/v1/promote", s.handlePromote)
 	s.handle(mux, http.MethodPost, "/v1/demote", s.handleDemote)
+	s.handle(mux, http.MethodPost, "/v1/follow", s.handleFollow)
 	s.handle(mux, http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -305,7 +318,7 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 
 // ingestStatus maps an engine ingest error to an HTTP status.
 func ingestStatus(err error) int {
-	if errors.Is(err, ErrBusy) {
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrSyncUnacked) {
 		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, ErrNotLeader) {
@@ -314,6 +327,23 @@ func ingestStatus(err error) int {
 		return http.StatusConflict
 	}
 	return http.StatusUnprocessableEntity
+}
+
+// writeIngestError maps a write-path engine error onto the wire. The
+// 503s carry Retry-After so routers and loaders back off instead of
+// hot-looping on a saturated shard; a synchronous-commit timeout
+// additionally marks the response X-Orf-Write-Applied, because the
+// record IS durable on this leader — a blind retry would apply it
+// twice.
+func writeIngestError(w http.ResponseWriter, err error) {
+	status := ingestStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	if errors.Is(err, ErrSyncUnacked) {
+		w.Header().Set("X-Orf-Write-Applied", "true")
+	}
+	writeError(w, status, err.Error())
 }
 
 // handleReady answers readiness probes: distinct from /healthz (which
@@ -351,6 +381,34 @@ func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.eng.Replication())
 }
 
+// handleFollow re-points this follower's replication stream at a new
+// leader address — the routing tier calls it on surviving followers
+// after a promotion so they resume shipping from the new leader
+// without a process restart.
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "bad request: missing addr")
+		return
+	}
+	if s.followCtl == nil {
+		writeError(w, http.StatusNotImplemented,
+			"follow control is not wired on this instance")
+		return
+	}
+	if err := s.followCtl(req.Addr); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, s.eng.Replication())
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObservationRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -363,7 +421,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	pred, err := s.eng.Ingest(req.fleetObservation())
 	if err != nil {
-		writeError(w, ingestStatus(err), err.Error())
+		writeIngestError(w, err)
 		return
 	}
 	writeJSON(w, predictionResponse(pred))
@@ -399,7 +457,20 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = BatchItemResponse{PredictionResponse: predictionResponse(res.Prediction)}
 	}
-	writeJSON(w, out)
+	// A synchronous-commit timeout fails the whole batch's guarantee at
+	// once; surface it at the response level too (503 + Retry-After) so
+	// clients that only look at the status back off, while the per-item
+	// body still reports exactly which records are durable-but-unacked.
+	status := http.StatusOK
+	for i := range results {
+		if errors.Is(results[i].Err, ErrSyncUnacked) {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Orf-Write-Applied", "true")
+			break
+		}
+	}
+	writeJSONStatus(w, status, out)
 }
 
 func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
@@ -415,7 +486,7 @@ func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.Retire(req.Serial); err != nil {
-		writeError(w, ingestStatus(err), err.Error())
+		writeIngestError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -459,10 +530,23 @@ func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus encodes v fully before touching the connection: an
+// encode failure becomes a clean 500 instead of a 200 header glued to
+// a partial body with a plaintext error appended (the old
+// Encode-then-http.Error sequence).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b = append(b, '\n')
+	w.Write(b) //nolint:errcheck // header already sent; nothing to salvage
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
