@@ -525,9 +525,11 @@ func (rt *Router) forward(w http.ResponseWriter, n *node, method, path string, b
 			rt.retries.Inc()
 			select {
 			case <-time.After(d):
+				status, hdr, respBody, err = rt.do(n, method, path, body)
 			case <-rt.stop:
+				// Shutting down: hand the client the original 503
+				// instead of issuing a pointless retry mid-teardown.
 			}
-			status, hdr, respBody, err = rt.do(n, method, path, body)
 		}
 	}
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -473,6 +475,115 @@ func TestPortScannerDoesNotPinFloor(t *testing.T) {
 		defer src.mu.Unlock()
 		return src.floor == 51
 	})
+}
+
+// seedStub is a SeedProvider serving one fixed file.
+type seedStub struct {
+	path string
+	head uint64
+}
+
+func (p seedStub) Seed() ([]SeedFile, uint64, error) {
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return []SeedFile{{Name: "snap-m.snap", File: f, Size: st.Size()}}, p.head, nil
+}
+
+// TestSeedSessionDoesNotSatisfySyncQuorum: a diverged follower — an old
+// split-brain leader whose resume position is ABOVE the leader's
+// durable head — opening a seed session must pin the retain floor at
+// the leader's head, not at its bogus-high resume, and must never count
+// toward the WaitAcked quorum. Otherwise a SyncAcks=1 commit would
+// report durability backed by zero actual replication for the entire
+// transfer — exactly the failover scenario sync-commit exists for.
+func TestSeedSessionDoesNotSatisfySyncQuorum(t *testing.T) {
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	head := w.SyncedSeq()
+
+	seedPath := filepath.Join(t.TempDir(), "snap-m.snap")
+	if err := os.WriteFile(seedPath, []byte("snapshot-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{
+		WAL:          w,
+		SeedProvider: seedStub{path: seedPath, head: head},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	conn, err := net.Dial("tcp", src.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeSeedHandshake(conn, head+10_000); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := readHandshakeReply(conn); err != nil {
+		t.Fatal(err)
+	}
+
+	// The floor pin lands clamped at the durable head, not at the
+	// diverged follower's bogus-high resume (which would pin nothing).
+	waitFor(t, 5*time.Second, "clamped floor pin", func() bool {
+		src.mu.Lock()
+		defer src.mu.Unlock()
+		return src.floor == head+1
+	})
+
+	// Mid-transfer, the seed session must not satisfy a k=1
+	// synchronous commit: no streaming follower holds the record.
+	if err := src.WaitAcked(head, 1, 100*time.Millisecond); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("WaitAcked with only a seed session = %v, want ErrAckTimeout", err)
+	}
+	src.mu.Lock()
+	for c := range src.conns {
+		if c.ready && !c.seeding {
+			src.mu.Unlock()
+			t.Fatal("seed session counted as an attached streaming follower")
+		}
+	}
+	src.mu.Unlock()
+
+	// Drain the transfer; it must still complete normally.
+	var buf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		typ, _, nbuf, err := readFrame(conn, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = nbuf
+		if typ == frameSeedDone {
+			break
+		}
+	}
+	// Even the post-install ack of a seed session stays out of the
+	// quorum — only a streaming reconnect carries durable state.
+	if err := writeFrame(conn, frameAck, appendAckPayload(nil, head)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WaitAcked(head, 1, 100*time.Millisecond); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("WaitAcked after post-seed ack = %v, want ErrAckTimeout", err)
+	}
 }
 
 func TestSilentLeaderTearsStream(t *testing.T) {

@@ -50,11 +50,25 @@ func (s *Source) serveSeed(sc *srcConn, resume uint64) error {
 	if s.cfg.SeedProvider == nil {
 		return errors.New("replica: follower requested a seed but no SeedProvider is configured")
 	}
+	// A seed session holds no durable replica: it must pin the retain
+	// floor but never satisfy a synchronous-commit quorum (a diverged
+	// old leader arrives with a resume ABOVE our head — counting that as
+	// an ack would let WaitAcked report replication that never
+	// happened).
+	s.mu.Lock()
+	sc.seeding = true
+	s.mu.Unlock()
 	// Pin the retain floor at the follower's stale position for the
 	// duration of the transfer: the floor is sticky across disconnects,
 	// so no snapshot can truncate the tail the follower will need to
-	// resume from after installing the seed.
-	s.noteAck(sc, resume)
+	// resume from after installing the seed. Clamp to our own durable
+	// head — an ErrFollowerAhead divergence hands us a resume past it,
+	// and a floor above the head pins nothing.
+	pin := resume
+	if h := s.cfg.WAL.SyncedSeq(); pin > h {
+		pin = h
+	}
+	s.noteAck(sc, pin)
 	s.cfg.Logger.Info("seeding follower", "remote", sc.c.RemoteAddr(), "resume_after", resume)
 
 	files, head, err := s.cfg.SeedProvider.Seed()

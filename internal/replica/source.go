@@ -112,11 +112,17 @@ type ackWaiter struct {
 }
 
 type srcConn struct {
-	c      net.Conn
-	acked  uint64 // guarded by Source.mu
-	ready  bool   // handshake completed; guarded by Source.mu
-	closed chan struct{}
-	once   sync.Once
+	c     net.Conn
+	acked uint64 // guarded by Source.mu
+	ready bool   // handshake completed; guarded by Source.mu
+	// seeding marks a full-state-transfer session (guarded by
+	// Source.mu). A seeding connection pins the retain floor like a
+	// follower — that is the point of the pin in serveSeed — but it has
+	// no durable replica of anything yet, so it must not count toward
+	// the sync-ack quorum or the attached-follower gauge.
+	seeding bool
+	closed  chan struct{}
+	once    sync.Once
 }
 
 func (sc *srcConn) shutdown() {
@@ -161,7 +167,18 @@ func NewSource(addr string, cfg SourceConfig) (*Source, error) {
 		defer s.mu.Unlock()
 		n := 0
 		for c := range s.conns {
-			if c.ready {
+			if c.ready && !c.seeding {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("replication_seeds_active", "Full state transfers currently streaming to diverged followers.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for c := range s.conns {
+			if c.seeding {
 				n++
 			}
 		}
@@ -233,6 +250,9 @@ func (s *Source) acceptLoop() {
 // Only handshake-completed connections participate in the floor: an
 // accepted-but-silent connection (a port scanner, a load balancer's TCP
 // check) has no resume position and must not pin truncation at zero.
+// Seeding connections DO participate in the floor (the pin keeps the
+// WAL tail alive across the transfer) but are excluded from the
+// sync-ack quorum in wakeWaitersLocked/ackedByLocked.
 func (s *Source) noteAck(sc *srcConn, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,7 +287,7 @@ func (s *Source) wakeWaitersLocked() {
 	}
 	vals := s.ackScratch[:0]
 	for c := range s.conns {
-		if c.ready {
+		if c.ready && !c.seeding {
 			vals = append(vals, c.acked)
 		}
 	}
@@ -288,12 +308,13 @@ func (s *Source) wakeWaitersLocked() {
 }
 
 // ackedByLocked returns the k-th highest follower-acknowledged
-// sequence number (0 when fewer than k followers are attached).
+// sequence number (0 when fewer than k streaming followers are
+// attached; seed sessions hold no durable state and never count).
 // Caller holds s.mu.
 func (s *Source) ackedByLocked(k int) uint64 {
 	vals := s.ackScratch[:0]
 	for c := range s.conns {
-		if c.ready {
+		if c.ready && !c.seeding {
 			vals = append(vals, c.acked)
 		}
 	}

@@ -645,6 +645,88 @@ func TestAutoReseedAfterTruncation(t *testing.T) {
 	}
 }
 
+// TestReseedFromEmptyLeader: an old split-brain leader re-pointed at a
+// brand-new EMPTY leader is fatally ahead (ErrFollowerAhead) and must
+// converge by seed like any other diverged follower. The empty leader's
+// seed set holds no snapshots and no durable records — only the sealed
+// (empty) WAL tail segment — and the install must still succeed,
+// wiping the stale state; a zero-file seed set would make CommitSeed
+// refuse and the follower retry forever.
+func TestReseedFromEmptyLeader(t *testing.T) {
+	obs := engineStream(t, 51, 2)
+
+	// Stale node: real state, then reopened in follower mode.
+	dirF := t.TempDir()
+	stale, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: dirF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[:20] {
+		stale.Ingest(o) //nolint:errcheck
+	}
+	if stale.WAL().NextSeq() <= 1 {
+		t.Fatal("stale node applied nothing; test would not exercise divergence")
+	}
+	if err := stale.Close(); err != nil {
+		t.Fatal(err)
+	}
+	follower, err := NewEngine(EngineConfig{
+		Predictor: engineTestConfig(), DataDir: dirF, Follower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower.ReplicationResume() == 0 {
+		t.Fatal("reopened follower recovered no state; test would not exercise divergence")
+	}
+
+	// Brand-new empty leader.
+	dirL := t.TempDir()
+	leader, err := NewEngine(EngineConfig{Predictor: engineTestConfig(), DataDir: dirL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource("127.0.0.1:0", replica.SourceConfig{
+		WAL: leader.WAL(), SeedProvider: leader,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	reg := metrics.NewRegistry()
+	fl, err := replica.StartFollower(src.Addr(), replica.FollowerConfig{
+		Applier: follower, Seeder: follower,
+		Metrics: reg, RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	waitUntil(t, 30*time.Second, "re-seed to empty state", func() bool {
+		return follower.ReplicationResume() == 0
+	})
+	if got := reg.Counter("replica_reseeds_total", "").Value(); got < 1 {
+		t.Fatalf("replica_reseeds_total = %d, want >= 1", got)
+	}
+	// The wiped follower then tracks the new leader's writes normally.
+	if _, err := leader.Ingest(obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	leaderLast := leader.WAL().NextSeq() - 1
+	waitUntil(t, 30*time.Second, "stream catch-up after wipe", func() bool {
+		return follower.ReplicationResume() == leaderLast
+	})
+	fl.Close()
+	src.Close()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSyncAcksTimeoutWithoutFollower: synchronous commit with no
 // follower attached cannot satisfy the guarantee — every write path
 // must report ErrSyncUnacked after the timeout while the record stays

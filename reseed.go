@@ -127,7 +127,11 @@ func (e *Engine) Seed() (files []replica.SeedFile, head uint64, err error) {
 		if perr != nil {
 			continue
 		}
-		if firstSeq > head {
+		// Keep the sealed tail segment even when it holds no durable
+		// records yet (an empty or freshly-rotated leader): without it
+		// an empty leader produces a zero-file seed set that CommitSeed
+		// rejects, and a diverged follower retries the seed forever.
+		if firstSeq > head && firstSeq != tailStart {
 			continue // rotated in after the tail seal; past the cut
 		}
 		capSize := int64(-1)
@@ -189,6 +193,26 @@ func (e *Engine) CommitSeed(dir string) error {
 		return errors.New("orfdisk: seed staging directory is empty")
 	}
 	sort.Strings(manifest)
+
+	// Make every staged directory entry durable BEFORE the commit
+	// marker can exist. The download fsyncs each file's contents, but a
+	// crash just past the marker could still lose the staging dirents;
+	// recovery would then treat each missing staged source as "moved by
+	// an interrupted earlier pass" and finish the install with empty or
+	// partial state — breaking the marker's all-or-nothing promise.
+	dirs := map[string]struct{}{dir: {}}
+	for _, name := range manifest {
+		d := filepath.Dir(filepath.Join(dir, filepath.FromSlash(name)))
+		for d != dir && strings.HasPrefix(d, dir+string(filepath.Separator)) {
+			dirs[d] = struct{}{}
+			d = filepath.Dir(d)
+		}
+	}
+	for d := range dirs {
+		if err := syncDir(d); err != nil {
+			return err
+		}
+	}
 
 	// Serialize against snapshot passes for the whole swap: Snapshot
 	// reads e.wal and the shard set, both replaced below.
