@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-replicate bench-replicate-smoke bench-replay bench-replay-smoke bench-smoke fmt
+.PHONY: check vet build test race bench-engine bench bench-ingest bench-predict bench-predict-smoke bench-replicate bench-replicate-smoke bench-replay bench-replay-smoke bench-snapshot bench-snapshot-smoke bench-smoke fmt
 
-check: vet build test race bench-engine bench-predict-smoke bench-replicate-smoke bench-replay-smoke
+check: vet build test race bench-engine bench-predict-smoke bench-replicate-smoke bench-replay-smoke bench-snapshot-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,7 @@ bench-engine:
 # a PR moves these numbers so the perf trajectory stays reviewable.
 INGEST_BENCH = BenchmarkPredictorIngest$$|BenchmarkPredictorIngestBatch|BenchmarkLabelerSteadyState|BenchmarkUpdateBatch|BenchmarkEngineIngestBatch
 
-bench: bench-ingest bench-predict bench-replicate
+bench: bench-ingest bench-predict bench-replicate bench-snapshot
 
 bench-ingest:
 	$(GO) test . -run '^$$' -bench '$(INGEST_BENCH)' -benchmem -count=5 -benchtime=2s \
@@ -107,6 +107,28 @@ bench-replay:
 bench-replay-smoke:
 	$(GO) test ./internal/backfill -run '^$$' -short -bench '$(REPLAY_BENCH)' -count=3 -benchtime=1x -timeout 30m \
 		| $(GO) run ./cmd/benchjson -check BENCH_replay.json -match '/smoke$$' -tol 0.25
+
+# Snapshot-codec perf baseline: one full serialize/parse of a trained
+# forest per op, across the three on-disk codecs — orf2-flate (the
+# parallel-compressed production format), orf2-raw (same framing,
+# passthrough codec) and orf1-legacy (the single-threaded uncompressed
+# baseline). snap_bytes in the JSON records the encoded sizes the
+# compression is accepted against (>= 2x smaller than legacy). Records
+# BOTH forest regimes — full (headline) and smoke (what
+# bench-snapshot-smoke gates against) — into BENCH_snapshot.json.
+SNAPSHOT_BENCH = BenchmarkSnapshotEncode|BenchmarkSnapshotDecode
+
+bench-snapshot:
+	( $(GO) test ./internal/core -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem -count=5 -benchtime=1s && \
+	  $(GO) test ./internal/core -run '^$$' -short -bench '$(SNAPSHOT_BENCH)' -benchmem -count=5 -benchtime=1s ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
+
+# Snapshot smoke gate: re-measure the smoke-forest regime and fail on a
+# >25% ns/op regression against the committed baseline's /smoke
+# entries.
+bench-snapshot-smoke:
+	$(GO) test ./internal/core -run '^$$' -short -bench '$(SNAPSHOT_BENCH)' -benchmem -count=3 -benchtime=1s \
+		| $(GO) run ./cmd/benchjson -check BENCH_snapshot.json -match '/smoke$$' -tol 0.25
 
 # Smoke-run every benchmark in the repo (one iteration each): catches
 # benchmarks that no longer compile or crash, measures nothing.

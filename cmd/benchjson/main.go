@@ -36,6 +36,10 @@ type result struct {
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Runs        int     `json:"runs"`
+	// Extra holds custom b.ReportMetric units (rows/s, snap_bytes, ...)
+	// so domain numbers land in the baseline next to the timings. They
+	// are recorded, never gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches one result line: name, iteration count, then
@@ -77,6 +81,13 @@ func main() {
 				r.BytesPerOp = v
 			case "allocs/op":
 				r.AllocsPerOp = v
+			case "MB/s":
+				// testing's throughput column; derivable from ns/op.
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		if r.NsPerOp < 0 {
@@ -105,6 +116,16 @@ func main() {
 			}
 			if r.AllocsPerOp < min.AllocsPerOp {
 				min.AllocsPerOp = r.AllocsPerOp
+			}
+			for k, v := range r.Extra {
+				if min.Extra == nil {
+					min.Extra = map[string]float64{}
+				}
+				if cur, ok := min.Extra[k]; !ok || v > cur {
+					// Rates (rows/s, MB/s): the best run is the max;
+					// sizes (snap_bytes) are run-invariant either way.
+					min.Extra[k] = v
+				}
 			}
 		}
 		min.Runs = len(runs)

@@ -13,10 +13,14 @@
 // honest to chew on:
 //
 //	orfgen -profile ALL -scale 0.01 -months 12 -history data/ -stripes 4
+//
+// Add -gzip to emit .csv.gz stripes — the compressed form real archives
+// download as, which orfload streams without unpacking.
 package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,8 +43,13 @@ func main() {
 		meta    = flag.String("meta", "", "also write ground-truth disk metadata as JSON here")
 		history = flag.String("history", "", "fleet-history mode: write per-quarter CSVs into this directory")
 		stripes = flag.Int("stripes", 1, "with -history, split each quarter into N files by serial hash")
+		gzipOut = flag.Bool("gzip", false, "with -history, gzip-compress each file (.csv.gz), the layout real corpora download as")
 	)
 	flag.Parse()
+	if *gzipOut && *history == "" {
+		fmt.Fprintln(os.Stderr, "orfgen: -gzip requires -history")
+		os.Exit(2)
+	}
 
 	var profs []dataset.Profile
 	switch *profile {
@@ -84,7 +93,7 @@ func main() {
 	var n int
 	var err error
 	if *history != "" {
-		n, err = writeHistory(*history, *stripes, capacities, stream)
+		n, err = writeHistory(*history, *stripes, *gzipOut, capacities, stream)
 	} else {
 		n, err = writeSingle(*out, capacities, stream)
 	}
@@ -141,7 +150,10 @@ func writeSingle(out string, capacities map[string]int64, stream func(func(smart
 // real multi-file merge — the same shape as Backblaze's quarterly ZIPs
 // unpacked into per-drive-cohort shards. File names sort in
 // chronological order (fleet-q000-s00.csv, fleet-q000-s01.csv, ...).
-func writeHistory(dir string, stripes int, capacities map[string]int64, stream func(func(smart.Sample) error) error) (int, error) {
+// With gz, each file is gzip-compressed and named .csv.gz — the form
+// real corpora download as, and what the loader's inline-decompression
+// path consumes directly.
+func writeHistory(dir string, stripes int, gz bool, capacities map[string]int64, stream func(func(smart.Sample) error) error) (int, error) {
 	if stripes < 1 {
 		return 0, fmt.Errorf("-stripes must be >= 1, got %d", stripes)
 	}
@@ -151,6 +163,7 @@ func writeHistory(dir string, stripes int, capacities map[string]int64, stream f
 
 	type stripeFile struct {
 		f  *os.File
+		zw *gzip.Writer
 		bw *bufio.Writer
 		cw *smart.Writer
 	}
@@ -166,6 +179,11 @@ func writeHistory(dir string, stripes int, capacities map[string]int64, stream f
 			}
 			if err := sf.bw.Flush(); err != nil {
 				return err
+			}
+			if sf.zw != nil {
+				if err := sf.zw.Close(); err != nil {
+					return err
+				}
 			}
 			if err := sf.f.Close(); err != nil {
 				return err
@@ -193,12 +211,21 @@ func writeHistory(dir string, stripes int, capacities map[string]int64, stream f
 		sf := open[stripe]
 		if sf == nil {
 			name := filepath.Join(dir, fmt.Sprintf("fleet-q%03d-s%02d.csv", quarter, stripe))
+			if gz {
+				name += ".gz"
+			}
 			f, err := os.Create(name)
 			if err != nil {
 				return err
 			}
-			bw := bufio.NewWriterSize(f, 1<<20)
-			sf = &stripeFile{f: f, bw: bw, cw: smart.NewWriter(bw, capacities)}
+			sf = &stripeFile{f: f}
+			var w io.Writer = f
+			if gz {
+				sf.zw = gzip.NewWriter(f)
+				w = sf.zw
+			}
+			sf.bw = bufio.NewWriterSize(w, 1<<20)
+			sf.cw = smart.NewWriter(sf.bw, capacities)
 			open[stripe] = sf
 		}
 		n++

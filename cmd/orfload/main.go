@@ -1,6 +1,7 @@
 // Command orfload backfills an engine data directory from a historical
 // Backblaze-format CSV archive — years of daily snapshots split across
-// quarterly (possibly striped) files — at disk speed.
+// quarterly (possibly striped) files, plain or compressed (.csv.gz and
+// .zip archives stream straight through the readers) — at disk speed.
 //
 // It merges the files into one chronological stream (parallel readers,
 // k-way min-day merge), feeds the engine in batches through the
@@ -11,8 +12,9 @@
 //
 // Usage:
 //
-//	orfgen -profile ALL -scale 0.05 -history archive/ -stripes 4
-//	orfload -data /var/lib/orfdisk 'archive/*.csv'
+//	orfgen -profile ALL -scale 0.05 -history archive/ -stripes 4 -gzip
+//	orfload -scan 'archive/*.csv.gz'      # integrity pre-scan, no ingest
+//	orfload -data /var/lib/orfdisk 'archive/*.csv.gz'
 //	orfserve -data /var/lib/orfdisk       # serve the backfilled state
 //
 // Observability: -metrics-addr starts an admin listener with /metrics
@@ -34,16 +36,68 @@ import (
 	"path/filepath"
 	"sort"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"orfdisk"
 	"orfdisk/internal/backfill"
 	"orfdisk/internal/metrics"
+	"orfdisk/internal/smart"
 )
+
+// runScan is the -scan mode: read every file end to end, print an
+// integrity report, touch nothing. Returns the process exit code.
+func runScan(files []string, readerBuf int) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	scans, err := backfill.Scan(ctx, files, backfill.Options{ReaderBuf: readerBuf})
+	if err != nil && len(scans) == 0 {
+		fmt.Fprintf(os.Stderr, "orfload: scan failed: %v\n", err)
+		return 1
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "FILE\tROWS\tMB\tFIRST\tLAST\tMALFORMED\tSTATUS")
+	var totRows, totBytes, totBad int64
+	bad := false
+	for _, fs := range scans {
+		status := "ok"
+		switch {
+		case fs.Err != nil:
+			status = "ERROR: " + fs.Err.Error()
+			bad = true
+		case fs.Unsorted:
+			status = "UNSORTED"
+			bad = true
+		}
+		first, last := "-", "-"
+		if fs.FirstDay >= 0 {
+			first, last = smart.DayToDate(fs.FirstDay), smart.DayToDate(fs.LastDay)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%s\t%s\t%d\t%s\n",
+			fs.Name, fs.Rows, float64(fs.Bytes)/1e6, first, last, fs.Malformed, status)
+		totRows += fs.Rows
+		totBytes += fs.Bytes
+		totBad += fs.Malformed
+	}
+	fmt.Fprintf(w, "TOTAL\t%d\t%.1f\t\t\t%d\t%d files in %s\n",
+		totRows, float64(totBytes)/1e6, totBad, len(scans), time.Since(start).Round(time.Millisecond))
+	w.Flush()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orfload: scan found problems: %v\n", err)
+	}
+	if bad || err != nil {
+		return 1
+	}
+	return 0
+}
 
 func main() {
 	var (
-		dataDir     = flag.String("data", "", "engine data directory (required; created if missing)")
+		dataDir     = flag.String("data", "", "engine data directory (required unless -scan; created if missing)")
+		scanOnly    = flag.Bool("scan", false, "integrity pre-scan: read every file end to end and report rows, bytes, date range and malformed rows without ingesting anything")
 		batchRows   = flag.Int("batch", 1024, "merged rows per engine batch")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "batches per durable resume cursor")
 		chunkRows   = flag.Int("chunk-rows", 4096, "rows per reader chunk (throughput knob; never affects ordering)")
@@ -62,7 +116,7 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
-	if *dataDir == "" {
+	if *dataDir == "" && !*scanOnly {
 		logger.Error("-data is required (backfill is pointless without durability)")
 		os.Exit(2)
 	}
@@ -97,6 +151,10 @@ func main() {
 		os.Exit(2)
 	}
 	sort.Strings(files)
+
+	if *scanOnly {
+		os.Exit(runScan(files, *readerBuf))
+	}
 
 	reg := metrics.NewRegistry()
 	eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{

@@ -164,6 +164,7 @@ func main() {
 		replMu.Unlock()
 		eng.SetAckWaiter(s)
 		eng.SetReplicationSourceAddr(s.Addr())
+		eng.SetSeedStats(s)
 		logger.Info("shipping WAL to followers", "addr", s.Addr(), "sync_acks", *syncAcks)
 		return nil
 	}

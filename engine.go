@@ -98,6 +98,7 @@ type Engine struct {
 	syncAckTimeout time.Duration
 	ackWaiter      atomic.Pointer[AckWaiter]
 	replAddr       atomic.Value // string
+	seedStats      atomic.Pointer[SeedStatser]
 
 	stop      chan struct{}
 	tickDone  chan struct{}
@@ -207,7 +208,8 @@ type engineMetrics struct {
 	snapshots       *metrics.Counter
 	snapshotErrors  *metrics.Counter
 	snapshotSeconds *metrics.Histogram
-	snapshotBytes   *metrics.Gauge
+	snapshotEncode  *metrics.Histogram
+	snapshotBytes   *metrics.GaugeVec
 	replayed        *metrics.Counter
 	replaySkipped   *metrics.Counter
 	freezes         *metrics.Counter
@@ -222,7 +224,8 @@ func newEngineMetrics(reg *metrics.Registry) engineMetrics {
 		snapshots:       reg.Counter("engine_snapshots_total", "Completed engine snapshot passes."),
 		snapshotErrors:  reg.Counter("engine_snapshot_errors_total", "Failed engine snapshot passes."),
 		snapshotSeconds: reg.Histogram("engine_snapshot_seconds", "Wall time of one snapshot pass (all models)."),
-		snapshotBytes:   reg.Gauge("engine_snapshot_bytes", "Bytes written by the most recent snapshot pass."),
+		snapshotEncode:  reg.Histogram("engine_snapshot_encode_seconds", "Wall time of one model's snapshot encode+write (parallel-compressed ORF2)."),
+		snapshotBytes:   reg.GaugeVec("engine_snapshot_bytes", "Bytes written by the most recent snapshot pass, by on-disk format.", "format"),
 		replayed:        reg.Counter("engine_recovery_replayed_records_total", "WAL records replayed during crash recovery."),
 		replaySkipped:   reg.Counter("engine_recovery_skipped_records_total", "WAL records skipped during recovery because the predictor rejected them (poison pills)."),
 		freezes:         reg.Counter("engine_frozen_publishes_total", "Frozen scoring snapshots published for the lock-free read path."),
@@ -803,7 +806,9 @@ func (e *Engine) Snapshot() error {
 			if prev, ok := e.snapped[model]; ok && prev == seq {
 				return // unchanged since last snapshot
 			}
+			encStart := time.Now()
 			bytes, serr = writeSnapshot(e.cfg.DataDir, model, s)
+			e.met.snapshotEncode.Observe(time.Since(encStart).Seconds())
 			if serr == nil {
 				// Everything applied so far is covered; records the
 				// worker applies after this closure re-arm it.
@@ -868,7 +873,7 @@ func (e *Engine) Snapshot() error {
 	}
 	e.met.snapshots.Inc()
 	e.met.snapshotSeconds.Observe(time.Since(start).Seconds())
-	e.met.snapshotBytes.Set(float64(totalBytes))
+	e.met.snapshotBytes.With(snapshotFormat).Set(float64(totalBytes))
 	e.log.Info("snapshot complete",
 		"models", len(models), "bytes", totalBytes,
 		"cutoff", cutoff, "elapsed", time.Since(start))
@@ -905,6 +910,10 @@ const (
 	snapMagic  = "OSN1"
 	snapSuffix = ".snap"
 	snapPrefix = "snap-"
+	// snapshotFormat labels engine_snapshot_bytes with the forest
+	// serialization the snapshot pass currently writes (the OSN1
+	// envelope wraps an ORF2 flate-framed forest; see internal/core).
+	snapshotFormat = "orf2-flate"
 )
 
 func (e *Engine) recover() error {

@@ -3,9 +3,12 @@
 //
 // The archive layout it consumes is the one real drive-stats corpora
 // ship in: many CSV files (quarterly exports, possibly striped into
-// shards), each internally sorted by date, with any given date's rows
-// spread across several files. The engine's online protocols require a
-// single chronological stream, so the loader is a parallel k-way merge:
+// shards) — plain, gzip'd (.csv.gz), or packed into .zip archives —
+// each internally sorted by date, with any given date's rows spread
+// across several files. Compressed inputs stream straight through the
+// readers (decompression happens inside the parallel reader stage, no
+// unpack-to-disk step). The engine's online protocols require a single
+// chronological stream, so the loader is a parallel k-way merge:
 //
 //	file readers (one goroutine each, zero-alloc FastReader)
 //	    │  same-day chunks over bounded channels (backpressure)
@@ -20,6 +23,10 @@
 // scheduling, which is what makes the durable cursor an exact resume
 // point: re-merging the same archive reproduces the same row sequence,
 // so "cursor + N rows applied after it" identifies one precise row.
+// The cursor keys files by logical member name (base name, ".gz"
+// stripped, ZIP members by their own names) and counts uncompressed
+// byte offsets, so a resume survives the corpus being recompressed or
+// unpacked between runs.
 //
 // Chronology is enforced, not assumed: a file whose dates go backwards
 // aborts the run, and on resume the merged stream must not produce a
@@ -33,8 +40,6 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -181,12 +186,13 @@ func newInstruments(reg *metrics.Registry) *instruments {
 	return in
 }
 
-// Run merges the named CSV files chronologically into eng, resuming
-// from eng's durable cursor if one exists. It returns when the archive
-// is exhausted, ctx is canceled, or an error occurs; in every case the
-// engine's durable state is a clean prefix of the merged stream, so a
-// later Run with the same (or an extended) file set continues exactly
-// where this one durably left off.
+// Run merges the named files — plain CSVs, .csv.gz, and .zip archives
+// of either — chronologically into eng, resuming from eng's durable
+// cursor if one exists. It returns when the archive is exhausted, ctx
+// is canceled, or an error occurs; in every case the engine's durable
+// state is a clean prefix of the merged stream, so a later Run with the
+// same (or an extended) file set continues exactly where this one
+// durably left off.
 func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, error) {
 	opts = opts.withDefaults()
 	stats := Stats{FirstDay: -1, LastDay: -1}
@@ -195,16 +201,20 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	}
 	in := newInstruments(opts.Metrics)
 
-	// Sorted base-name order defines the canonical merge tiebreak; the
-	// cursor refers to files by base name, so duplicates are ambiguous.
-	paths := append([]string(nil), files...)
-	sort.Slice(paths, func(i, j int) bool { return filepath.Base(paths[i]) < filepath.Base(paths[j]) })
-	names := make([]string, len(paths))
-	index := make(map[string]int, len(paths))
-	for i, p := range paths {
-		names[i] = filepath.Base(p)
-		if j, dup := index[names[i]]; dup {
-			return stats, fmt.Errorf("backfill: duplicate base name %q (%s, %s)", names[i], paths[j], paths[i])
+	// Sorted logical-name order defines the canonical merge tiebreak;
+	// the cursor refers to files by logical name, so duplicates are
+	// ambiguous.
+	srcs, err := expandSources(files)
+	if err != nil {
+		return stats, err
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
+	names := make([]string, len(srcs))
+	index := make(map[string]int, len(srcs))
+	for i, s := range srcs {
+		names[i] = s.Name
+		if _, dup := index[names[i]]; dup {
+			return stats, fmt.Errorf("backfill: duplicate logical member name %q in the input set", names[i])
 		}
 		index[names[i]] = i
 	}
@@ -212,7 +222,7 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	// Resume point: seek each reader to the cursor, then discard the
 	// rows the engine already holds beyond it.
 	cur, rowsAfter, resuming := eng.BackfillState()
-	resumeAt := make([]orfdisk.BackfillFilePos, len(paths))
+	resumeAt := make([]orfdisk.BackfillFilePos, len(srcs))
 	if resuming {
 		for _, fp := range cur.Files {
 			i, ok := index[fp.Name]
@@ -232,7 +242,7 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	defer cancel()
 
 	// Reader stage: one goroutine per file.
-	chans := make([]chan *chunk, len(paths))
+	chans := make([]chan *chunk, len(srcs))
 	var (
 		wg      sync.WaitGroup
 		errMu   sync.Mutex
@@ -248,13 +258,13 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	}
 	var skipped int64
 	var skipMu sync.Mutex
-	for i := range paths {
+	for i := range srcs {
 		chans[i] = make(chan *chunk, 4)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer close(chans[i])
-			n, err := readFile(ctx, paths[i], resumeAt[i], opts, in, chans[i])
+			n, err := readFile(ctx, srcs[i], resumeAt[i], opts, in, chans[i])
 			skipMu.Lock()
 			skipped += n
 			skipMu.Unlock()
@@ -267,8 +277,8 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	// Merge + submit stage (this goroutine).
 	m := &merger{
 		eng: eng, opts: opts, in: in, stats: &stats,
-		names: names, pos: make([]orfdisk.BackfillFilePos, len(paths)),
-		prevOff:    make([]int64, len(paths)),
+		names: names, pos: make([]orfdisk.BackfillFilePos, len(srcs)),
+		prevOff:    make([]int64, len(srcs)),
 		mergedRows: cur.Rows,
 		resumeSkip: int64(rowsAfter),
 		resumeDay:  -1,
@@ -276,7 +286,7 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 		batch:      make([]orfdisk.FleetObservation, 0, opts.BatchRows),
 		progressAt: time.Now(),
 	}
-	for i := range paths {
+	for i := range srcs {
 		m.pos[i] = resumeAt[i]
 		m.pos[i].Name = names[i]
 		m.prevOff[i] = resumeAt[i].Off
@@ -295,7 +305,7 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	}
 
 	errMu.Lock()
-	err := readErr
+	err = readErr
 	errMu.Unlock()
 	if err == nil {
 		err = mergeErr
@@ -315,21 +325,30 @@ func Run(ctx context.Context, eng Sink, files []string, opts Options) (Stats, er
 	return stats, err
 }
 
-// readFile streams one CSV into same-day chunks. Returns the number of
-// rows it dropped (malformed lines, missing serial/model).
-func readFile(ctx context.Context, path string, at orfdisk.BackfillFilePos, opts Options, in *instruments, out chan<- *chunk) (skipped int64, err error) {
-	f, err := os.Open(path)
+// readFile streams one logical CSV member into same-day chunks,
+// decompressing inline when the source is a .gz or ZIP member. Returns
+// the number of rows it dropped (malformed lines, missing
+// serial/model).
+func readFile(ctx context.Context, src Source, at orfdisk.BackfillFilePos, opts Options, in *instruments, out chan<- *chunk) (skipped int64, err error) {
+	rc, err := src.Open()
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	r, err := smart.NewFastReaderSize(f, opts.ReaderBuf)
+	defer rc.Close()
+	r, err := smart.NewFastReaderSize(rc, opts.ReaderBuf)
 	if err != nil {
 		return 0, err
 	}
 	if at.Rows > 0 {
-		if err := r.SeekTo(at.Off, at.Rows); err != nil {
-			return 0, fmt.Errorf("seeking to cursor: %w", err)
+		// Cursor offsets count uncompressed bytes, so a compressed
+		// stream resumes by reading and discarding up to the cursor.
+		if src.Seekable {
+			err = r.SeekTo(at.Off, at.Rows)
+		} else {
+			err = r.SkipTo(at.Off, at.Rows)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("resuming at cursor: %w", err)
 		}
 	}
 
@@ -577,21 +596,24 @@ func RunNaive(eng Ingester, files []string, opts Options) (Stats, error) {
 	if len(files) == 0 {
 		return stats, errors.New("backfill: no input files")
 	}
-	paths := append([]string(nil), files...)
-	sort.Slice(paths, func(i, j int) bool { return filepath.Base(paths[i]) < filepath.Base(paths[j]) })
+	sources, err := expandSources(files)
+	if err != nil {
+		return stats, err
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Name < sources[j].Name })
 
 	type src struct {
-		f    *os.File
+		rc   io.ReadCloser
 		r    *smart.FastReader
 		s    smart.Sample
 		ok   bool
 		last int
 	}
-	srcs := make([]*src, len(paths))
+	srcs := make([]*src, len(sources))
 	defer func() {
 		for _, s := range srcs {
-			if s != nil && s.f != nil {
-				s.f.Close()
+			if s != nil && s.rc != nil {
+				s.rc.Close()
 			}
 		}
 	}()
@@ -622,18 +644,18 @@ func RunNaive(eng Ingester, files []string, opts Options) (Stats, error) {
 			return nil
 		}
 	}
-	for i, p := range paths {
-		f, err := os.Open(p)
+	for i, sc := range sources {
+		rc, err := sc.Open()
 		if err != nil {
 			return stats, err
 		}
-		r, err := smart.NewFastReaderSize(f, opts.ReaderBuf)
+		r, err := smart.NewFastReaderSize(rc, opts.ReaderBuf)
 		if err != nil {
-			f.Close()
-			return stats, fmt.Errorf("backfill: %s: %w", filepath.Base(p), err)
+			rc.Close()
+			return stats, fmt.Errorf("backfill: %s: %w", sc.Name, err)
 		}
-		srcs[i] = &src{f: f, r: r, last: -1 << 30}
-		if err := advance(srcs[i], filepath.Base(p)); err != nil {
+		srcs[i] = &src{rc: rc, r: r, last: -1 << 30}
+		if err := advance(srcs[i], sc.Name); err != nil {
 			return stats, err
 		}
 	}
@@ -664,7 +686,7 @@ func RunNaive(eng Ingester, files []string, opts Options) (Stats, error) {
 					stats.FirstDay = day
 				}
 				stats.LastDay = day
-				if err := advance(s, filepath.Base(paths[i])); err != nil {
+				if err := advance(s, sources[i].Name); err != nil {
 					return stats, err
 				}
 			}

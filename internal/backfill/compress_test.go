@@ -1,0 +1,267 @@
+package backfill_test
+
+import (
+	"archive/zip"
+	"compress/gzip"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orfdisk"
+	"orfdisk/internal/backfill"
+)
+
+// gzipArchive recompresses each plain CSV as name.csv.gz in a fresh
+// directory.
+func gzipArchive(t *testing.T, files []string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var out []string
+	for _, p := range files {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp := filepath.Join(dir, filepath.Base(p)+".gz")
+		f, err := os.Create(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, gp)
+	}
+	return out
+}
+
+// zipArchive packs the plain CSVs into one ZIP under a folder prefix —
+// the quarterly-download shape — salted with the junk entries real
+// archives carry (directory entries, __MACOSX, dot-files, READMEs)
+// that the expander must skip.
+func zipArchive(t *testing.T, files []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.zip")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := zip.NewWriter(f)
+	add := func(name string, body []byte) {
+		w, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("data_q/", nil)
+	add("__MACOSX/"+filepath.Base(files[0]), []byte("resource fork junk"))
+	add("data_q/."+filepath.Base(files[0]), []byte("hidden junk"))
+	add("data_q/README.txt", []byte("not a csv"))
+	for _, p := range files {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add("data_q/"+filepath.Base(p), b)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompressedPipelineEquivalence: the same corpus as plain CSVs, as
+// .csv.gz files, as one ZIP archive, and as a mixed plain/gz set must
+// produce bit-identical engine state — compression is invisible to the
+// merge order.
+func TestCompressedPipelineEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	files := writeArchive(t, dir, 3)
+	if len(files) < 4 {
+		t.Fatalf("archive has only %d files; want several for a real merge", len(files))
+	}
+	want := reference(t, files)
+	var wantRows int64
+	{
+		eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: testConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := backfill.Run(context.Background(), eng, files, backfill.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		wantRows = stats.Rows
+	}
+
+	variants := map[string][]string{
+		"gzip": gzipArchive(t, files),
+		"zip":  {zipArchive(t, files)},
+		"mixed": append(append([]string(nil), files[:len(files)/2]...),
+			gzipArchive(t, files[len(files)/2:])...),
+	}
+	for label, set := range variants {
+		eng, err := orfdisk.NewEngine(orfdisk.EngineConfig{Predictor: testConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := backfill.Run(context.Background(), eng, set, backfill.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if stats.Rows != wantRows {
+			t.Fatalf("%s: %d rows, plain corpus had %d", label, stats.Rows, wantRows)
+		}
+		requireSameState(t, label, want, dumpState(t, eng))
+		eng.Close()
+	}
+}
+
+// TestResumeMidGzip interrupts a durable backfill over a gzip'd corpus
+// between cursors, then resumes — once over the gz files and once over
+// the PLAIN spelling of the same corpus, proving the cursor's logical
+// member names and uncompressed offsets survive recompression.
+func TestResumeMidGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := writeArchive(t, dir, 3)
+	gz := gzipArchive(t, plain)
+	want := reference(t, plain)
+
+	for _, resumeSet := range []struct {
+		label string
+		files []string
+	}{
+		{"resume-over-gz", gz},
+		{"resume-over-plain", plain},
+	} {
+		eng := newEngine(t, t.TempDir())
+		opts := backfill.Options{BatchRows: 256, CheckpointEvery: 3}
+		sink := &faultSink{eng: eng, failAt: 6}
+		if _, err := backfill.Run(context.Background(), sink, gz, opts); !errors.Is(err, errInjected) {
+			t.Fatalf("%s: Run did not surface the injected fault: %v", resumeSet.label, err)
+		}
+		_, rowsAfter, ok := eng.BackfillState()
+		if !ok {
+			t.Fatalf("%s: no backfill state after interrupted run", resumeSet.label)
+		}
+		if rowsAfter == 0 {
+			t.Fatalf("%s: interrupt landed on a checkpoint; need rowsAfter > 0", resumeSet.label)
+		}
+		stats, err := backfill.Run(context.Background(), eng, resumeSet.files, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", resumeSet.label, err)
+		}
+		if stats.ResumeSkipped != int64(rowsAfter) {
+			t.Fatalf("%s: resume discarded %d rows, want exactly rowsAfter=%d",
+				resumeSet.label, stats.ResumeSkipped, rowsAfter)
+		}
+		requireSameState(t, resumeSet.label, want, dumpState(t, eng))
+		eng.Close()
+	}
+}
+
+// TestScanReportsCorpus: -scan's engine — per-member rows, uncompressed
+// bytes, date range, malformed counts — must agree between the plain
+// and gzip'd spellings of a corpus, and surface injected corruption.
+func TestScanReportsCorpus(t *testing.T) {
+	dir := t.TempDir()
+	plain := writeArchive(t, dir, 2)
+	gz := gzipArchive(t, plain)
+	ctx := context.Background()
+
+	ps, err := backfill.Scan(ctx, plain, backfill.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := backfill.Scan(ctx, gz, backfill.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(gs) || len(ps) != len(plain) {
+		t.Fatalf("scan lengths: plain=%d gz=%d files=%d", len(ps), len(gs), len(plain))
+	}
+	var rows int64
+	for i := range ps {
+		if ps[i] != gs[i] {
+			t.Fatalf("member %d: plain scan %+v != gz scan %+v", i, ps[i], gs[i])
+		}
+		if ps[i].Rows == 0 || ps[i].Bytes == 0 || ps[i].Malformed != 0 || ps[i].FirstDay < 0 {
+			t.Fatalf("implausible scan for %s: %+v", ps[i].Name, ps[i])
+		}
+		rows += ps[i].Rows
+	}
+	if rows == 0 {
+		t.Fatal("scan found no rows")
+	}
+
+	// Inject a malformed row mid-file and a truncated gzip member; both
+	// must surface without aborting the other members.
+	b, err := os.ReadFile(plain[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt.csv")
+	half := len(b) / 2
+	line := half
+	for b[line] != '\n' {
+		line++
+	}
+	mut := append(append(append([]byte(nil), b[:line+1]...), []byte("not,a,valid,row\n")...), b[line+1:]...)
+	if err := os.WriteFile(corrupt, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gzb, err := os.ReadFile(gz[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.csv.gz")
+	if err := os.WriteFile(trunc, gzb[:len(gzb)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scans, err := backfill.Scan(ctx, []string{corrupt, trunc}, backfill.Options{})
+	if err == nil {
+		t.Fatal("scan accepted a truncated gzip member")
+	}
+	if len(scans) != 2 {
+		t.Fatalf("got %d scans, want 2", len(scans))
+	}
+	for _, fs := range scans {
+		switch fs.Name {
+		case "corrupt.csv":
+			if fs.Malformed != 1 || fs.Err != nil || fs.Rows != ps[0].Rows {
+				t.Fatalf("corrupt member scan: %+v (want 1 malformed, %d rows)", fs, ps[0].Rows)
+			}
+		case "trunc.csv":
+			if fs.Err == nil {
+				t.Fatalf("truncated gzip scanned clean: %+v", fs)
+			}
+			var unexpectedEOF bool
+			for e := fs.Err; e != nil; e = errors.Unwrap(e) {
+				if e == io.ErrUnexpectedEOF || e == io.EOF {
+					unexpectedEOF = true
+				}
+			}
+			_ = unexpectedEOF // exact error shape is gzip's business; non-nil is the contract
+		default:
+			t.Fatalf("unexpected member %q", fs.Name)
+		}
+	}
+}

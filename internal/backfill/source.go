@@ -1,0 +1,177 @@
+package backfill
+
+import (
+	"archive/zip"
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// gzInBuf sizes the read buffer under each gzip decompressor. Without
+// it flate falls back to its internal 4 KiB bufio, paying a syscall
+// per 4 KiB of compressed input.
+const gzInBuf = 256 << 10
+
+// A Source is one logical CSV member of the archive corpus: a durable
+// cursor key plus a way to (re)open its decompressed byte stream.
+//
+// Name is decompression-transparent: "x.csv" keys the same cursor entry
+// whether it arrived as a plain x.csv, a gzip'd x.csv.gz, or a member
+// of a quarterly ZIP — so a corpus that gets recompressed between runs
+// (or partially unpacked) still resumes exactly once per row. Cursor
+// offsets are likewise uncompressed byte positions, which is what
+// FastReader counts no matter what the bytes travelled through.
+type Source struct {
+	// Name is the logical member name (base name, trailing ".gz"
+	// stripped) — the cursor key and the canonical merge tiebreak.
+	Name string
+	// Seekable reports that Open's stream supports io.Seeker, letting a
+	// resume SeekTo the cursor instead of reading and discarding.
+	Seekable bool
+	// Open returns a fresh decompressed stream positioned at byte 0.
+	Open func() (io.ReadCloser, error)
+}
+
+// stackedCloser is a decompressed stream that must close both the
+// decompressor and the file (and, for ZIP members, the archive) under
+// it. Closers run in order; the first error wins.
+type stackedCloser struct {
+	io.Reader
+	closers []io.Closer
+}
+
+func (s *stackedCloser) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// logicalName maps an on-disk spelling to the cursor key: the base
+// name with any trailing ".gz" removed.
+func logicalName(base string) string {
+	if strings.HasSuffix(strings.ToLower(base), ".gz") {
+		return base[:len(base)-3]
+	}
+	return base
+}
+
+// csvMember reports whether a ZIP member name is a data file the loader
+// should consume: a .csv or .csv.gz regular member, skipping directory
+// entries and archiver metadata (__MACOSX/, dot-files).
+func csvMember(name string) bool {
+	if strings.HasSuffix(name, "/") {
+		return false
+	}
+	base := path.Base(name)
+	if strings.HasPrefix(base, ".") || strings.HasPrefix(name, "__MACOSX/") {
+		return false
+	}
+	low := strings.ToLower(base)
+	return strings.HasSuffix(low, ".csv") || strings.HasSuffix(low, ".csv.gz")
+}
+
+// expandSources turns a list of paths — plain CSVs, .gz CSVs, and .zip
+// archives — into the flat list of logical CSV sources they contain.
+// ZIP archives are opened once here to enumerate members; each member
+// becomes its own Source (its own parallel reader and cursor entry).
+func expandSources(paths []string) ([]Source, error) {
+	var srcs []Source
+	for _, p := range paths {
+		p := p
+		switch strings.ToLower(filepath.Ext(p)) {
+		case ".zip":
+			zr, err := zip.OpenReader(p)
+			if err != nil {
+				return nil, fmt.Errorf("backfill: opening %s: %w", p, err)
+			}
+			n := 0
+			for _, m := range zr.File {
+				if !csvMember(m.Name) {
+					continue
+				}
+				n++
+				member := m.Name
+				gz := strings.HasSuffix(strings.ToLower(member), ".gz")
+				srcs = append(srcs, Source{
+					Name: logicalName(path.Base(member)),
+					Open: func() (io.ReadCloser, error) {
+						return openZipMember(p, member, gz)
+					},
+				})
+			}
+			zr.Close()
+			if n == 0 {
+				return nil, fmt.Errorf("backfill: %s contains no .csv or .csv.gz members", p)
+			}
+		case ".gz":
+			srcs = append(srcs, Source{
+				Name: logicalName(filepath.Base(p)),
+				Open: func() (io.ReadCloser, error) { return openGzipFile(p) },
+			})
+		default:
+			srcs = append(srcs, Source{
+				Name:     filepath.Base(p),
+				Seekable: true,
+				Open: func() (io.ReadCloser, error) {
+					f, err := os.Open(p)
+					return f, err
+				},
+			})
+		}
+	}
+	return srcs, nil
+}
+
+func openGzipFile(p string) (io.ReadCloser, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	gz, err := gzip.NewReader(bufio.NewReaderSize(f, gzInBuf))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gzip header of %s: %w", filepath.Base(p), err)
+	}
+	return &stackedCloser{Reader: gz, closers: []io.Closer{gz, f}}, nil
+}
+
+// openZipMember reopens the archive and positions a reader at one
+// member. Each member holds its own archive handle so the parallel
+// per-file readers never share reader state.
+func openZipMember(archive, member string, gz bool) (io.ReadCloser, error) {
+	zr, err := zip.OpenReader(archive)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range zr.File {
+		if m.Name != member {
+			continue
+		}
+		rc, err := m.Open()
+		if err != nil {
+			zr.Close()
+			return nil, err
+		}
+		if !gz {
+			return &stackedCloser{Reader: rc, closers: []io.Closer{rc, zr}}, nil
+		}
+		gzr, err := gzip.NewReader(bufio.NewReaderSize(rc, gzInBuf))
+		if err != nil {
+			rc.Close()
+			zr.Close()
+			return nil, fmt.Errorf("gzip header of %s!%s: %w", filepath.Base(archive), member, err)
+		}
+		return &stackedCloser{Reader: gzr, closers: []io.Closer{gzr, rc, zr}}, nil
+	}
+	zr.Close()
+	return nil, fmt.Errorf("member %q vanished from %s since it was enumerated", member, archive)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"orfdisk/internal/frame"
 	"orfdisk/internal/rng"
 )
 
@@ -15,14 +16,27 @@ import (
 // state. The RNG streams are serialized too, so a restored forest
 // continues the exact stream a snapshot would have produced.
 //
-// Format (little endian):
+// Two formats exist (little endian):
 //
-//	magic "ORF1" | dim | counters | config block | per-tree blocks
+//	v1  magic "ORF1" | dim | counters | config block | per-tree blocks
+//	v2  magic "ORF2" | codec byte | framed header block | framed tree blocks
 //
-// The format is internal and versioned by the magic; there is no
-// cross-version compatibility promise.
+// v2 is the current write format: the header and each tree are
+// independent frame blocks (CRC-checked, flate-compressed at BestSpeed
+// unless the codec byte selects raw passthrough), and the per-tree
+// blocks are encoded and decoded in parallel on the forest worker
+// pool. Block contents reuse the exact v1 field layout, so v1 and v2
+// carry identical state and a restored forest round-trips
+// bit-identically under either. ReadForest accepts both; v1 is kept
+// writable (WriteToLegacy) for compatibility tests and as the raw
+// single-threaded baseline in benchmarks. The format is internal and
+// versioned by the magic; there is no cross-version compatibility
+// promise beyond reading v1.
 
-const magic = "ORF1"
+const (
+	magicV1 = "ORF1"
+	magicV2 = "ORF2"
+)
 
 type writer struct {
 	w   io.Writer
@@ -66,12 +80,9 @@ func (r *reader) i64() int64   { return int64(r.u64()) }
 func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 func (r *reader) b() bool      { return r.u64() != 0 }
 
-// WriteTo serializes the forest. It must not run concurrently with
-// Update.
-func (f *Forest) WriteTo(dst io.Writer) (int64, error) {
-	var buf bytes.Buffer
-	w := &writer{w: &buf}
-	buf.WriteString(magic)
+// writeHeader serializes the forest-level counters and config (the v1
+// byte layout between the magic and the first tree).
+func (f *Forest) writeHeader(w *writer) {
 	w.i64(int64(f.dim))
 	w.i64(f.updates)
 	w.i64(f.posSeen)
@@ -79,7 +90,6 @@ func (f *Forest) WriteTo(dst io.Writer) (int64, error) {
 	w.i64(f.replaced.Load())
 	w.i64(f.sinceReplace)
 
-	// Config.
 	c := f.cfg
 	w.i64(int64(c.Trees))
 	w.i64(int64(c.NumTests))
@@ -95,7 +105,122 @@ func (f *Forest) WriteTo(dst io.Writer) (int64, error) {
 	w.b(c.DisableReplacement)
 	w.i64(int64(c.Workers))
 	w.u64(c.Seed)
+}
 
+// readHeader parses the forest-level counters and config into f,
+// returning the config and validating the same invariants as v1.
+func (f *Forest) readHeader(r *reader) (Config, error) {
+	f.dim = int(r.i64())
+	f.updates = r.i64()
+	f.posSeen = r.i64()
+	f.negSeen = r.i64()
+	f.replaced.Store(r.i64())
+	f.sinceReplace = r.i64()
+
+	var c Config
+	c.Trees = int(r.i64())
+	c.NumTests = int(r.i64())
+	c.MinParentSize = r.f64()
+	c.MinGain = r.f64()
+	c.LambdaPos = r.f64()
+	c.LambdaNeg = r.f64()
+	c.MaxDepth = int(r.i64())
+	c.OOBEThreshold = r.f64()
+	c.AgeThreshold = int(r.i64())
+	c.OOBEDecay = r.f64()
+	c.ReplaceCooldown = int(r.i64())
+	c.DisableReplacement = r.b()
+	c.Workers = int(r.i64())
+	c.Seed = r.u64()
+	f.cfg = c
+
+	if r.err != nil {
+		return c, fmt.Errorf("core: reading snapshot: %w", r.err)
+	}
+	if f.dim <= 0 || c.Trees <= 0 || c.Trees > 1<<20 {
+		return c, fmt.Errorf("core: corrupt snapshot (dim=%d trees=%d)", f.dim, c.Trees)
+	}
+	return c, nil
+}
+
+// WriteTo serializes the forest in the current v2 format: per-tree
+// blocks encoded in parallel on the worker pool, each flate-compressed
+// and CRC-framed. It must not run concurrently with Update.
+func (f *Forest) WriteTo(dst io.Writer) (int64, error) {
+	return f.writeToV2(dst, frame.Flate)
+}
+
+// WriteToRaw serializes the forest in the v2 layout with the
+// uncompressed passthrough codec: parallel and CRC-framed, but no
+// flate. Useful when the destination already compresses, or to trade
+// bytes for encode CPU.
+func (f *Forest) WriteToRaw(dst io.Writer) (int64, error) {
+	return f.writeToV2(dst, frame.Raw)
+}
+
+func (f *Forest) writeToV2(dst io.Writer, codec frame.Codec) (int64, error) {
+	var hdr bytes.Buffer
+	hw := &writer{w: &hdr}
+	f.writeHeader(hw)
+	if hw.err != nil {
+		return 0, hw.err
+	}
+
+	// Encode every tree into its own framed block. Flate at a fixed
+	// level is deterministic and each block starts from a fresh encoder
+	// state, so the concatenation in tree order is byte-identical no
+	// matter how the work is scheduled across workers.
+	blocks := make([][]byte, len(f.trees))
+	encode := func(i int) {
+		var buf bytes.Buffer
+		tw := &writer{w: &buf}
+		writeTree(tw, f.trees[i])
+		blocks[i] = frame.AppendBlock(nil, buf.Bytes(), codec)
+	}
+	if p := f.workerPool(); p != nil {
+		p.run(func(w int) {
+			lo, hi := p.treeRange(w)
+			for i := lo; i < hi; i++ {
+				encode(i)
+			}
+		})
+	} else {
+		for i := range f.trees {
+			encode(i)
+		}
+	}
+
+	var total int64
+	write := func(b []byte) error {
+		n, err := dst.Write(b)
+		total += int64(n)
+		return err
+	}
+	if err := write([]byte(magicV2)); err != nil {
+		return total, err
+	}
+	if err := write([]byte{byte(codec)}); err != nil {
+		return total, err
+	}
+	if err := write(frame.AppendBlock(nil, hdr.Bytes(), codec)); err != nil {
+		return total, err
+	}
+	for _, b := range blocks {
+		if err := write(b); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteToLegacy serializes the forest in the original v1 format: one
+// raw, uncompressed, single-threaded byte stream. Kept for migration
+// tests and as the benchmark baseline; new snapshots use WriteTo.
+func (f *Forest) WriteToLegacy(dst io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	w := &writer{w: &buf}
+	buf.WriteString(magicV1)
+	f.writeHeader(w)
 	for _, t := range f.trees {
 		writeTree(w, t)
 	}
@@ -142,46 +267,29 @@ func writeTree(w *writer, t *onlineTree) {
 	}
 }
 
-// ReadForest deserializes a forest written by WriteTo.
+// ReadForest deserializes a forest written by WriteTo (v2), WriteToRaw,
+// or WriteToLegacy (v1). v1 snapshots load byte-for-byte as before.
 func ReadForest(src io.Reader) (*Forest, error) {
-	r := &reader{r: src}
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV1))
 	if _, err := io.ReadFull(src, head); err != nil {
 		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
 	}
-	if string(head) != magic {
+	switch string(head) {
+	case magicV1:
+		return readForestV1(src)
+	case magicV2:
+		return readForestV2(src)
+	default:
 		return nil, fmt.Errorf("core: bad snapshot magic %q", head)
 	}
+}
+
+func readForestV1(src io.Reader) (*Forest, error) {
+	r := &reader{r: src}
 	f := &Forest{}
-	f.dim = int(r.i64())
-	f.updates = r.i64()
-	f.posSeen = r.i64()
-	f.negSeen = r.i64()
-	f.replaced.Store(r.i64())
-	f.sinceReplace = r.i64()
-
-	var c Config
-	c.Trees = int(r.i64())
-	c.NumTests = int(r.i64())
-	c.MinParentSize = r.f64()
-	c.MinGain = r.f64()
-	c.LambdaPos = r.f64()
-	c.LambdaNeg = r.f64()
-	c.MaxDepth = int(r.i64())
-	c.OOBEThreshold = r.f64()
-	c.AgeThreshold = int(r.i64())
-	c.OOBEDecay = r.f64()
-	c.ReplaceCooldown = int(r.i64())
-	c.DisableReplacement = r.b()
-	c.Workers = int(r.i64())
-	c.Seed = r.u64()
-	f.cfg = c
-
-	if r.err != nil {
-		return nil, fmt.Errorf("core: reading snapshot: %w", r.err)
-	}
-	if f.dim <= 0 || c.Trees <= 0 || c.Trees > 1<<20 {
-		return nil, fmt.Errorf("core: corrupt snapshot (dim=%d trees=%d)", f.dim, c.Trees)
+	c, err := f.readHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	f.trees = make([]*onlineTree, c.Trees)
 	for i := range f.trees {
@@ -192,6 +300,89 @@ func ReadForest(src io.Reader) (*Forest, error) {
 		f.trees[i] = t
 	}
 	return f, nil
+}
+
+func readForestV2(src io.Reader) (*Forest, error) {
+	var cb [1]byte
+	if _, err := io.ReadFull(src, cb[:]); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot codec: %w", err)
+	}
+	if c := frame.Codec(cb[0]); c != frame.Raw && c != frame.Flate {
+		return nil, fmt.Errorf("core: unknown snapshot codec %d", cb[0])
+	}
+	hdrBlk, err := frame.ReadBlockRaw(src, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header block: %w", err)
+	}
+	hdrRaw, _, err := frame.DecodeBlock(hdrBlk)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot header block: %w", err)
+	}
+	f := &Forest{}
+	c, err := f.readHeader(&reader{r: bytes.NewReader(hdrRaw)})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pull every tree's framed block off the stream sequentially (cheap
+	// I/O), then CRC-check, inflate, and parse them in parallel on the
+	// worker pool — the expensive part of recovery.
+	blocks := make([][]byte, c.Trees)
+	for i := range blocks {
+		if blocks[i], err = frame.ReadBlockRaw(src, nil); err != nil {
+			return nil, fmt.Errorf("core: reading tree block %d: %w", i, err)
+		}
+	}
+	f.trees = make([]*onlineTree, c.Trees)
+	decode := func(i int) error {
+		t, err := decodeTreeBlock(blocks[i], c, f.dim)
+		if err != nil {
+			return fmt.Errorf("core: tree block %d: %w", i, err)
+		}
+		f.trees[i] = t
+		return nil
+	}
+	if p := f.workerPool(); p != nil {
+		errs := make([]error, p.workers)
+		p.run(func(w int) {
+			lo, hi := p.treeRange(w)
+			for i := lo; i < hi; i++ {
+				if err := decode(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range f.trees {
+			if err := decode(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// decodeTreeBlock verifies and parses one framed tree block.
+func decodeTreeBlock(blk []byte, cfg Config, dim int) (*onlineTree, error) {
+	raw, _, err := frame.DecodeBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(raw)
+	t, err := readTree(&reader{r: br}, cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("core: corrupt snapshot (%d trailing bytes in tree block)", br.Len())
+	}
+	return t, nil
 }
 
 func readTree(r *reader, cfg Config, dim int) (*onlineTree, error) {

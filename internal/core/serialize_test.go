@@ -113,6 +113,171 @@ func TestSnapshotRejectsCorruptCounts(t *testing.T) {
 	}
 }
 
+// TestSnapshotLegacyMigration proves the ORF1 → ORF2 path: a legacy
+// snapshot loads bit-identically (the restored forest re-serializes —
+// in the new format — to exactly the bytes the original forest
+// produces), and the next write is v2.
+func TestSnapshotLegacyMigration(t *testing.T) {
+	f := trainForest(t, 11, 2500)
+	var legacy bytes.Buffer
+	if _, err := f.WriteToLegacy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy.Bytes()[:4]; string(got) != magicV1 {
+		t.Fatalf("legacy magic %q", got)
+	}
+	g, err := ReadForest(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromOrig, fromLegacy bytes.Buffer
+	if _, err := f.WriteTo(&fromOrig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(&fromLegacy); err != nil {
+		t.Fatal(err)
+	}
+	if got := fromLegacy.Bytes()[:4]; string(got) != magicV2 {
+		t.Fatalf("post-migration magic %q, want v2", got)
+	}
+	if !bytes.Equal(fromOrig.Bytes(), fromLegacy.Bytes()) {
+		t.Fatal("forest restored from a v1 snapshot re-serializes differently")
+	}
+}
+
+// TestSnapshotV2Deterministic: parallel encode must be byte-identical
+// across runs (worker scheduling cannot leak into the output), and a
+// v2 round trip must re-serialize to the same bytes.
+func TestSnapshotV2Deterministic(t *testing.T) {
+	f := trainForest(t, 12, 2000)
+	var a, b bytes.Buffer
+	if _, err := f.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodes of the same forest differ")
+	}
+	g, err := ReadForest(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if _, err := g.WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("v2 round trip is not bit-identical")
+	}
+}
+
+// TestSnapshotV2ParallelWorkers forces the worker pool on (Workers > 1
+// never happens by default on a single-core machine) and requires the
+// parallel encode to be deterministic, the parallel decode (the header
+// carries Workers, so the restored forest decodes in parallel too) to
+// round-trip bit-identically, and block corruption to surface through
+// the per-worker error path.
+func TestSnapshotV2ParallelWorkers(t *testing.T) {
+	cfg := Config{Trees: 8, NumTests: 15, MinParentSize: 30, MinGain: 0.03,
+		LambdaPos: 1, LambdaNeg: 1, Seed: 14, Workers: 4}
+	f := New(3, cfg)
+	r := rng.New(15)
+	for i := 0; i < 2000; i++ {
+		x, y := streamSample(r, 0.3, 0.5)
+		f.Update(x, y)
+	}
+	if f.workerPool() == nil {
+		t.Fatal("worker pool not engaged at Workers=4")
+	}
+
+	var a, b bytes.Buffer
+	if _, err := f.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two parallel encodes of the same forest differ")
+	}
+
+	g, err := ReadForest(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.workerPool() == nil {
+		t.Fatal("restored forest lost its worker pool (Workers not carried in the header)")
+	}
+	var c bytes.Buffer
+	if _, err := g.WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("parallel round trip is not bit-identical")
+	}
+
+	// Corruption inside a tree block must surface through the parallel
+	// decode's per-worker error slice, not panic or pass.
+	bad := append([]byte(nil), a.Bytes()...)
+	bad[len(bad)-9] ^= 0x40
+	if _, err := ReadForest(bytes.NewReader(bad)); err == nil {
+		t.Fatal("parallel decode accepted a corrupted tree block")
+	}
+}
+
+func TestSnapshotV2Compresses(t *testing.T) {
+	f := trainForest(t, 13, 3000)
+	var legacy, v2 bytes.Buffer
+	if _, err := f.WriteToLegacy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len()*2 > legacy.Len() {
+		t.Fatalf("v2 snapshot %d bytes vs legacy %d; want at least 2x smaller", v2.Len(), legacy.Len())
+	}
+}
+
+func TestSnapshotV2RawCodec(t *testing.T) {
+	f := trainForest(t, 14, 1500)
+	var raw bytes.Buffer
+	if _, err := f.WriteToRaw(&raw); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadForest(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs, gs := f.Stats(), g.Stats(); fs != gs {
+		t.Fatalf("stats differ after raw-codec round trip: %+v vs %+v", fs, gs)
+	}
+}
+
+func TestSnapshotV2RejectsCorruption(t *testing.T) {
+	f := trainForest(t, 15, 1500)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	// Flip one byte inside the last tree block: the frame CRC must
+	// catch it.
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)-9] ^= 0x55
+	if _, err := ReadForest(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupt tree block accepted")
+	}
+	// Truncation anywhere must error, never hang or panic.
+	for _, n := range []int{4, 5, 16, len(enc) / 2, len(enc) - 3} {
+		if _, err := ReadForest(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("truncated snapshot (%d/%d bytes) accepted", n, len(enc))
+		}
+	}
+}
+
 func TestSnapshotPreservesConfig(t *testing.T) {
 	cfg := Config{Trees: 5, NumTests: 7, MinParentSize: 33, MinGain: 0.07,
 		LambdaPos: 1.5, LambdaNeg: 0.04, MaxDepth: 9, Seed: 77}

@@ -52,6 +52,12 @@ type FollowerConfig struct {
 	// it, and streaming resumes from the new position. Nil preserves
 	// the old stop-and-wait-for-an-operator behavior.
 	Seeder SeedSink
+	// SeedUncompressed disables seed-chunk compression by handshaking
+	// protocol version 1 on seed sessions: the leader then streams raw
+	// seedchunk frames. An escape hatch for followers that cannot
+	// afford decompression CPU, and the compatibility mode old binaries
+	// land in automatically.
+	SeedUncompressed bool
 	// Metrics receives the replica_connection_* families. Nil registers
 	// into a private registry.
 	Metrics *metrics.Registry
@@ -81,11 +87,12 @@ type Follower struct {
 	addr string
 	cfg  FollowerConfig
 
-	reconnects  *metrics.Counter
-	reseeds     *metrics.Counter
-	reseedBytes *metrics.Counter
-	connected   atomic.Bool
-	fatal       atomic.Pointer[error]
+	reconnects     *metrics.Counter
+	reseeds        *metrics.Counter
+	reseedBytes    *metrics.Counter
+	reseedRawBytes *metrics.Counter
+	connected      atomic.Bool
+	fatal          atomic.Pointer[error]
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -113,7 +120,9 @@ func StartFollower(addr string, cfg FollowerConfig) (*Follower, error) {
 		reseeds: reg.Counter("replica_reseeds_total",
 			"Automatic full re-seeds completed after fatal divergence."),
 		reseedBytes: reg.Counter("replica_reseed_bytes_total",
-			"Bytes downloaded in automatic re-seed transfers."),
+			"Wire bytes downloaded in automatic re-seed transfers (post-compression)."),
+		reseedRawBytes: reg.Counter("replica_reseed_raw_bytes_total",
+			"Uncompressed bytes installed by automatic re-seed transfers."),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -231,11 +240,11 @@ func (f *Follower) run() error {
 	}()
 
 	resume := f.cfg.Applier.ReplicationResume()
-	if err := writeHandshake(conn, resume); err != nil {
+	if err := writeHandshake(conn, version, resume); err != nil {
 		return err
 	}
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	oldest, head, err := readHandshakeReply(conn)
+	_, oldest, head, err := readHandshakeReply(conn)
 	if err != nil {
 		return err
 	}

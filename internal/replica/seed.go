@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"orfdisk/internal/frame"
 )
 
 // SeedFile is one file of a leader's seed set: a dir-relative name
@@ -45,8 +47,11 @@ type SeedSink interface {
 
 // serveSeed streams the leader's current durable state to a diverged
 // follower, then waits for the follower's post-install ack so the new
-// position joins the retain floor before the connection drops.
-func (s *Source) serveSeed(sc *srcConn, resume uint64) error {
+// position joins the retain floor before the connection drops. ver is
+// the negotiated protocol version: at v2 each chunk ships as a
+// flate-compressed seedchunkz frame, at v1 as a raw seedchunk — so an
+// uncompressed-only follower still re-seeds from a compressing leader.
+func (s *Source) serveSeed(sc *srcConn, resume uint64, ver uint16) error {
 	if s.cfg.SeedProvider == nil {
 		return errors.New("replica: follower requested a seed but no SeedProvider is configured")
 	}
@@ -83,8 +88,10 @@ func (s *Source) serveSeed(sc *srcConn, resume uint64) error {
 
 	var (
 		frameBuf []byte
+		zbuf     []byte
 		chunk    = make([]byte, seedChunkBytes)
-		sent     int64
+		sent     int64 // wire bytes (post-compression)
+		raw      int64 // uncompressed bytes represented
 	)
 	send := func(typ byte, payload []byte) error {
 		sc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -99,10 +106,19 @@ func (s *Source) serveSeed(sc *srcConn, resume uint64) error {
 		for {
 			n, rerr := lr.Read(chunk)
 			if n > 0 {
-				if err := send(frameSeedChunk, chunk[:n]); err != nil {
-					return err
+				if ver >= 2 {
+					zbuf = frame.AppendBlock(zbuf[:0], chunk[:n], frame.Flate)
+					if err := send(frameSeedChunkZ, zbuf); err != nil {
+						return err
+					}
+					sent += int64(len(zbuf))
+				} else {
+					if err := send(frameSeedChunk, chunk[:n]); err != nil {
+						return err
+					}
+					sent += int64(n)
 				}
-				sent += int64(n)
+				raw += int64(n)
 			}
 			if rerr == io.EOF {
 				break
@@ -118,7 +134,10 @@ func (s *Source) serveSeed(sc *srcConn, resume uint64) error {
 	}
 	s.met.seeds.Inc()
 	s.met.seedBytes.Add(uint64(sent))
-	s.cfg.Logger.Info("seed streamed", "remote", sc.c.RemoteAddr(), "files", len(files), "bytes", sent, "head", head)
+	s.met.seedRawBytes.Add(uint64(raw))
+	s.cfg.Logger.Info("seed streamed", "remote", sc.c.RemoteAddr(),
+		"files", len(files), "wire_bytes", sent, "raw_bytes", raw,
+		"version", ver, "head", head)
 
 	// The follower installs the set (rename + fsync + engine reload)
 	// and acks its new durable position; allow it generous time.
@@ -175,11 +194,17 @@ func (f *Follower) reseed() error {
 		conn.Close()
 	}()
 
-	if err := writeSeedHandshake(conn, f.cfg.Applier.ReplicationResume()); err != nil {
+	// Advertise v2 unless chunk compression is disabled, in which case
+	// handshaking v1 makes the leader stream raw seedchunk frames.
+	ver := uint16(version)
+	if f.cfg.SeedUncompressed {
+		ver = 1
+	}
+	if err := writeSeedHandshake(conn, ver, f.cfg.Applier.ReplicationResume()); err != nil {
 		return err
 	}
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if _, _, err := readHandshakeReply(conn); err != nil {
+	if _, _, _, err := readHandshakeReply(conn); err != nil {
 		return err
 	}
 
@@ -193,7 +218,8 @@ func (f *Follower) reseed() error {
 		cur     *os.File
 		curName string
 		remain  int64
-		total   int64
+		total   int64 // raw bytes written to staged files
+		wire    int64 // bytes received on the wire
 	)
 	closeCur := func() error {
 		if cur == nil {
@@ -245,18 +271,26 @@ func (f *Follower) reseed() error {
 				return err
 			}
 			curName, remain = name, size
-		case frameSeedChunk:
+		case frameSeedChunk, frameSeedChunkZ:
 			if cur == nil {
 				return errors.New("replica: seed chunk before file announcement")
 			}
-			if int64(len(payload)) > remain {
+			wire += int64(len(payload))
+			data := payload
+			if typ == frameSeedChunkZ {
+				var derr error
+				if data, _, derr = frame.DecodeBlock(payload); derr != nil {
+					return fmt.Errorf("replica: decoding seed chunk for %s: %w", curName, derr)
+				}
+			}
+			if int64(len(data)) > remain {
 				return fmt.Errorf("replica: seed file %s overflows announced size", curName)
 			}
-			if _, err := cur.Write(payload); err != nil {
+			if _, err := cur.Write(data); err != nil {
 				return err
 			}
-			remain -= int64(len(payload))
-			total += int64(len(payload))
+			remain -= int64(len(data))
+			total += int64(len(data))
 		case frameSeedDone:
 			if err := closeCur(); err != nil {
 				return err
@@ -269,10 +303,11 @@ func (f *Follower) reseed() error {
 				return fmt.Errorf("replica: installing seed: %w", err)
 			}
 			f.reseeds.Inc()
-			f.reseedBytes.Add(uint64(total))
+			f.reseedBytes.Add(uint64(wire))
+			f.reseedRawBytes.Add(uint64(total))
 			f.cfg.Logger.Info("re-seeded from leader",
-				"leader", f.addr, "bytes", total, "head", head,
-				"resume_after", f.cfg.Applier.ReplicationResume())
+				"leader", f.addr, "wire_bytes", wire, "raw_bytes", total,
+				"head", head, "resume_after", f.cfg.Applier.ReplicationResume())
 			// Ack the installed position so it joins the leader's retain
 			// floor before this connection drops; the normal streaming
 			// reconnect follows.

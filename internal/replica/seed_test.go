@@ -1,0 +1,151 @@
+package replica
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// installSink is a SeedSink capturing the installed seed set; on
+// commit it jumps the applier to the seed head so the follower's
+// post-seed streaming reconnect is healthy (mirroring what the
+// engine's recover() does after a real install).
+type installSink struct {
+	t    *testing.T
+	app  *memApplier
+	head uint64
+
+	mu        sync.Mutex
+	installed []byte
+}
+
+func (s *installSink) BeginSeed() (string, error) {
+	dir, err := os.MkdirTemp("", "seed-staging-*")
+	if err == nil {
+		s.t.Cleanup(func() { os.RemoveAll(dir) })
+	}
+	return dir, err
+}
+
+func (s *installSink) CommitSeed(dir string) error {
+	b, err := os.ReadFile(filepath.Join(dir, "snap-m.snap"))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.installed = b
+	s.mu.Unlock()
+	s.app.mu.Lock()
+	s.app.applied = s.head
+	s.app.mu.Unlock()
+	return nil
+}
+
+func (s *installSink) bytesInstalled() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installed
+}
+
+// runSeedTransfer drives one full automatic re-seed: a follower whose
+// position is ahead of the leader's durable head (diverged) connects,
+// hits ErrFollowerAhead, downloads the seed set, installs it, and
+// reconnects as a healthy streaming follower. Returns the leader
+// source and installed payload for assertions.
+func runSeedTransfer(t *testing.T, payload []byte, uncompressed bool) (*Source, *Follower, []byte) {
+	t.Helper()
+	w := openShipWAL(t, t.TempDir())
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte("record-payload-bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	head := w.SyncedSeq()
+
+	seedPath := filepath.Join(t.TempDir(), "seed-src")
+	if err := os.WriteFile(seedPath, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource("127.0.0.1:0", SourceConfig{
+		WAL:          w,
+		SeedProvider: seedStub{path: seedPath, head: head},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+
+	app := &memApplier{applied: head + 1000} // diverged: ahead of the leader
+	sink := &installSink{t: t, app: app, head: head}
+	fl, err := StartFollower(src.Addr(), FollowerConfig{
+		Applier:          app,
+		Seeder:           sink,
+		SeedUncompressed: uncompressed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+
+	waitFor(t, 10*time.Second, "automatic re-seed", func() bool {
+		return fl.reseeds.Value() == 1
+	})
+	waitFor(t, 10*time.Second, "post-seed streaming reconnect", func() bool {
+		return fl.Connected()
+	})
+	return src, fl, sink.bytesInstalled()
+}
+
+// TestSeedChunkCompression: a v2 follower re-seeding from a v2 leader
+// gets flate-compressed chunks — fewer wire bytes than raw — and the
+// installed bytes are exactly the leader's.
+func TestSeedChunkCompression(t *testing.T) {
+	payload := bytes.Repeat([]byte("snap-model-bytes,smart_5_raw,smart_187_raw;"), 40_000)
+	src, fl, installed := runSeedTransfer(t, payload, false)
+
+	if !bytes.Equal(installed, payload) {
+		t.Fatalf("installed %d bytes differ from the %d-byte seed", len(installed), len(payload))
+	}
+	seeds, wire, raw := src.SeedStats()
+	if seeds != 1 {
+		t.Fatalf("seeds served = %d", seeds)
+	}
+	if raw != uint64(len(payload)) {
+		t.Fatalf("raw bytes %d, want %d", raw, len(payload))
+	}
+	if wire*2 > raw {
+		t.Fatalf("wire bytes %d not <2x smaller than raw %d; compression missing", wire, raw)
+	}
+	if got := fl.reseedBytes.Value(); got != wire {
+		t.Fatalf("follower wire bytes %d, leader sent %d", got, wire)
+	}
+	if got := fl.reseedRawBytes.Value(); got != raw {
+		t.Fatalf("follower raw bytes %d, leader raw %d", got, raw)
+	}
+}
+
+// TestSeedUncompressedFollowerCompat: a follower that handshakes
+// protocol v1 (an old binary, or SeedUncompressed) still re-seeds from
+// a compressing leader — the leader negotiates down to raw seedchunk
+// frames and the transfer is byte-exact.
+func TestSeedUncompressedFollowerCompat(t *testing.T) {
+	payload := bytes.Repeat([]byte("legacy-follower-raw-chunks;"), 50_000)
+	src, fl, installed := runSeedTransfer(t, payload, true)
+
+	if !bytes.Equal(installed, payload) {
+		t.Fatalf("installed %d bytes differ from the %d-byte seed", len(installed), len(payload))
+	}
+	_, wire, raw := src.SeedStats()
+	if wire != raw || raw != uint64(len(payload)) {
+		t.Fatalf("v1 session should ship raw: wire=%d raw=%d payload=%d", wire, raw, len(payload))
+	}
+	if got := fl.reseedBytes.Value(); got != wire {
+		t.Fatalf("follower wire bytes %d, leader sent %d", got, wire)
+	}
+}

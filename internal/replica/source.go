@@ -73,6 +73,7 @@ type sourceMetrics struct {
 	acked        *metrics.Gauge
 	seeds        *metrics.Counter
 	seedBytes    *metrics.Counter
+	seedRawBytes *metrics.Counter
 	syncTimeouts *metrics.Counter
 }
 
@@ -158,7 +159,8 @@ func NewSource(addr string, cfg SourceConfig) (*Source, error) {
 			frames:       reg.Counter("replication_frames_shipped_total", "Protocol frames (records + heartbeats) sent to followers."),
 			acked:        reg.Gauge("replication_min_acked_seq", "Lowest follower-acknowledged WAL sequence number (the truncation retain floor)."),
 			seeds:        reg.Counter("replication_seeds_served_total", "Full state transfers streamed to diverged followers."),
-			seedBytes:    reg.Counter("replication_seed_bytes_total", "Bytes streamed in follower seed transfers."),
+			seedBytes:    reg.Counter("replication_seed_bytes_total", "Wire bytes streamed in follower seed transfers (post-compression)."),
+			seedRawBytes: reg.Counter("replication_seed_raw_bytes_total", "Uncompressed bytes represented by follower seed transfers (compare with replication_seed_bytes_total for the compression ratio)."),
 			syncTimeouts: reg.Counter("replication_sync_ack_timeouts_total", "Synchronous-commit waits that timed out before enough follower acks."),
 		},
 	}
@@ -191,6 +193,14 @@ func NewSource(addr string, cfg SourceConfig) (*Source, error) {
 
 // Addr returns the listener's address (useful with ":0").
 func (s *Source) Addr() string { return s.ln.Addr().String() }
+
+// SeedStats reports cumulative seed-transfer counters: transfers
+// served, wire bytes sent (post-compression), and the raw bytes those
+// transfers represented. wire < raw when v2 chunk compression was in
+// effect; the serving layer surfaces the three in /v1/replication.
+func (s *Source) SeedStats() (seeds, wireBytes, rawBytes uint64) {
+	return s.met.seeds.Value(), s.met.seedBytes.Value(), s.met.seedRawBytes.Value()
+}
 
 // Close stops accepting followers and tears down every stream.
 func (s *Source) Close() error {
@@ -386,7 +396,7 @@ func (s *Source) serve(sc *srcConn) error {
 	// truncation has already passed (the follower must be re-seeded) and
 	// positions past our own durable head (the logs have diverged).
 	sc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
-	resume, seed, err := readHandshake(sc.c)
+	resume, seed, peerVer, err := readHandshake(sc.c)
 	if err != nil {
 		return err
 	}
@@ -395,11 +405,18 @@ func (s *Source) serve(sc *srcConn) error {
 	if err != nil {
 		return err
 	}
-	if err := writeHandshakeReply(sc.c, oldest, head()); err != nil {
+	// Capability negotiation: the session runs at the newest version
+	// both sides speak, so a v1 follower keeps getting the exact v1
+	// byte stream (raw seed chunks included).
+	ver := uint16(version)
+	if peerVer < ver {
+		ver = peerVer
+	}
+	if err := writeHandshakeReply(sc.c, ver, oldest, head()); err != nil {
 		return err
 	}
 	if seed {
-		return s.serveSeed(sc, resume)
+		return s.serveSeed(sc, resume, ver)
 	}
 	if resume+1 < oldest {
 		return ErrResumeTooOld

@@ -126,6 +126,31 @@ func (r *FastReader) SeekTo(off, rows int64) error {
 	return nil
 }
 
+// SkipTo advances the reader to byte offset off (at or past the end of
+// the header, on a row boundary) by reading and discarding, and
+// declares that rows rows precede it. It is SeekTo for non-seekable
+// sources — gzip or ZIP-member streams, whose resume offsets count
+// decompressed bytes — at a cost proportional to off.
+func (r *FastReader) SkipTo(off, rows int64) error {
+	if off < r.headerEnd {
+		return fmt.Errorf("smart: skip offset %d is inside the header (ends at %d)", off, r.headerEnd)
+	}
+	if off < r.off {
+		return fmt.Errorf("smart: skip offset %d is behind the current offset %d", off, r.off)
+	}
+	if _, err := io.CopyN(io.Discard, r.br, off-r.off); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("smart: skipping to offset %d: %w", off, err)
+	}
+	r.off = off
+	r.rows = rows
+	r.line = 0 // physical line number unknown from here on
+	r.lastDate = r.lastDate[:0]
+	return nil
+}
+
 // readLine returns the next line without its terminator ('\n' or
 // "\r\n"), advancing the byte offset past the terminator. io.EOF is
 // returned only when no bytes remain; a final unterminated line is

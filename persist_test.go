@@ -146,6 +146,40 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveStateBitIdenticalRoundTrip proves the ORF2 snapshot pipeline
+// end to end at the SaveState level: restoring a saved state and saving
+// it again must reproduce the exact same bytes — parallel per-tree
+// compression included.
+func TestSaveStateBitIdenticalRoundTrip(t *testing.T) {
+	g := smallFleet(t, 7)
+	p := NewPredictor(Config{Horizon: 4, ORF: ORFConfig{Trees: 8, MinParentSize: 50, Seed: 21}})
+	err := g.Stream(func(s smart.Sample) error {
+		_, err := p.Ingest(Observation{
+			Serial: s.Serial, Day: s.Day, Failed: s.Failure, Values: s.Values,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := p.SaveState(&first); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictorState(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := q.SaveState(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("SaveState round trip not bit-identical: %d vs %d bytes",
+			first.Len(), second.Len())
+	}
+}
+
 func TestLoadPredictorStateRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"empty":     "",

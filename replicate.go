@@ -56,6 +56,17 @@ func (e *Engine) SetAckWaiter(w AckWaiter) { e.ackWaiter.Store(&w) }
 // tier uses it to re-point surviving followers after a promotion.
 func (e *Engine) SetReplicationSourceAddr(addr string) { e.replAddr.Store(addr) }
 
+// SeedStatser reports follower seed-transfer totals — implemented by
+// *replica.Source. wireBytes are post-compression bytes on the wire,
+// rawBytes the uncompressed bytes they represent.
+type SeedStatser interface {
+	SeedStats() (seeds, wireBytes, rawBytes uint64)
+}
+
+// SetSeedStats attaches the replication source whose seed-transfer
+// counters /v1/replication reports on leaders.
+func (e *Engine) SetSeedStats(s SeedStatser) { e.seedStats.Store(&s) }
+
 // waitSyncAcks gates a leader write behind follower acks when
 // synchronous commit is on. The record is already applied and in the
 // WAL; Sync makes it durable (and shippable — the source only streams
@@ -256,6 +267,12 @@ type ReplicationStatus struct {
 	// leader serves, when one is attached — the routing tier re-points
 	// surviving followers at it after a promotion.
 	ReplicateAddr string `json:"replicate_addr,omitempty"`
+	// Seed-transfer totals from the attached replication source: how
+	// many diverged followers this leader has re-seeded, and the wire
+	// (post-compression) vs raw bytes those transfers moved.
+	SeedsServed   uint64 `json:"seeds_served,omitempty"`
+	SeedWireBytes uint64 `json:"seed_wire_bytes,omitempty"`
+	SeedRawBytes  uint64 `json:"seed_raw_bytes,omitempty"`
 }
 
 // Replication reports the engine's replication role and lag. The
@@ -280,6 +297,9 @@ func (e *Engine) Replication() ReplicationStatus {
 	st := ReplicationStatus{Role: "leader", Applied: e.wallessApplied(), SyncAcks: e.syncAcks}
 	if addr, ok := e.replAddr.Load().(string); ok {
 		st.ReplicateAddr = addr
+	}
+	if p := e.seedStats.Load(); p != nil {
+		st.SeedsServed, st.SeedWireBytes, st.SeedRawBytes = (*p).SeedStats()
 	}
 	return st
 }
